@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the substrate primitives.
+
+Not a paper artifact — these time the building blocks (forward/backward
+pass, reliability update, PageRank) so regressions in the substrate are
+visible independently of the end-to-end tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import edge_reliability, node_reliability
+from repro.datasets import cora_like
+from repro.graph.pagerank import pagerank
+from repro.models.base import softmax_rows
+from repro.models.gcn import GCN
+from repro.tensor import ops
+from repro.tensor.functional import masked_cross_entropy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return cora_like(seed=0, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def model(graph):
+    return GCN(graph.num_features, graph.num_classes, np.random.default_rng(0))
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_bench_forward_pass(benchmark, graph, model):
+    model.eval()
+    benchmark(lambda: model(graph))
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_bench_forward_backward(benchmark, graph, model):
+    def step():
+        model.train()
+        logits = model(graph)
+        loss = masked_cross_entropy(
+            ops.log_softmax(logits, axis=1), graph.labels, graph.train_index
+        )
+        model.zero_grad()
+        loss.backward()
+        return loss.item()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_bench_node_reliability(benchmark, graph, model):
+    probs = softmax_rows(model.predict_logits(graph))
+    rng = np.random.default_rng(1)
+    student = softmax_rows(rng.normal(size=probs.shape))
+    benchmark(
+        lambda: node_reliability(probs, student, graph.labels, graph.train_index, p=40.0)
+    )
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_bench_edge_reliability(benchmark, graph, model):
+    probs = softmax_rows(model.predict_logits(graph))
+    sets = node_reliability(probs, probs, graph.labels, graph.train_index, p=40.0)
+    src, dst = graph.edge_list()
+    pred = probs.argmax(axis=1)
+    benchmark(lambda: edge_reliability(src, dst, sets.reliable_mask, pred))
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_bench_pagerank(benchmark, graph):
+    benchmark(lambda: pagerank(graph.adjacency))

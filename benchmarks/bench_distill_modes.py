@@ -1,0 +1,60 @@
+"""Extension ablation: the three L2 distillation formulations.
+
+DESIGN.md calls out our deviation from the literal Eq. 7 (raw-logit MSE
+toward weight-averaged ensemble logits is unstable when base models'
+logit scales differ); this bench quantifies the choice by running RDD
+under each formulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.losses import DISTILL_MODES
+from repro.datasets import load_dataset
+from repro.evaluation.common import ExperimentReport, mean_over_seeds, run_rdd
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_distill_mode_ablation(benchmark, harness_config):
+    def sweep():
+        report = ExperimentReport(
+            experiment="Extension: L2 distillation formulation ablation (cora)",
+            notes="prob_mse is the library default; logit_mse is the literal Eq. 7.",
+        )
+        graphs = [
+            load_dataset("cora", seed=seed, scale=harness_config.scale)
+            for seed in harness_config.seeds
+        ]
+        for mode in DISTILL_MODES:
+            results = [
+                run_rdd(g, harness_config, s, distill_mode=mode)
+                for g, s in zip(graphs, harness_config.seeds)
+            ]
+            report.rows.append(
+                {
+                    "distill_mode": mode,
+                    "ensemble_accuracy": mean_over_seeds(
+                        [r.ensemble_test_accuracy for r in results]
+                    ),
+                    "avg_base_accuracy": mean_over_seeds(
+                        [r.average_base_accuracy for r in results]
+                    ),
+                    "last_base_accuracy": mean_over_seeds(
+                        [r.last_base_test_accuracy for r in results]
+                    ),
+                }
+            )
+        return report
+
+    report = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    emit(report)
+    by_mode = {r["distill_mode"]: r for r in report.rows}
+    # All three formulations are viable; which one leads flips with the
+    # label-rate regime (prob_mse is preferred for its stability — see
+    # DESIGN.md), so only require the default to stay in the same band.
+    assert (
+        by_mode["prob_mse"]["ensemble_accuracy"]
+        >= by_mode["logit_mse"]["ensemble_accuracy"] - 0.06
+    )

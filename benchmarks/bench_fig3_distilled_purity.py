@@ -1,0 +1,22 @@
+"""Figure 3 (operationalized) — purity of the distilled supervision."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_distilled_knowledge_purity(benchmark, harness_config):
+    report = benchmark.pedantic(lambda: fig3.run(harness_config), iterations=1, rounds=1)
+    emit(report)
+    rows = {r["selection"]: r for r in report.rows}
+    kd = rows["KD (all teacher outputs)"]
+    rdd = rows["RDD (reliable ∩ student-unsure)"]
+    # The reliability filter must hand the student cleaner supervision —
+    # the whole point of Figure 3.
+    assert rdd["distilled_label_purity"] >= kd["distilled_label_purity"] + 0.02
+    # And it is selective, not exhaustive.
+    assert rdd["distilled_fraction_of_nodes"] < 0.5

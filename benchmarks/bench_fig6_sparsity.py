@@ -1,0 +1,27 @@
+"""Figure 6 — accuracy vs labels-per-class sweep (singles and ensembles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_label_sparsity_sweep(benchmark, quick_config):
+    report = benchmark.pedantic(
+        lambda: fig6.run(quick_config, sweep=(3, 6, 10), include_deep=False),
+        iterations=1,
+        rounds=1,
+    )
+    emit(report)
+    assert len(report.rows) >= 2
+    # Shape: every method improves (or holds) from the fewest to the most labels.
+    first, last = report.rows[0], report.rows[-1]
+    for method in ("GCN", "RDD(Ensemble)"):
+        assert last[method] >= first[method] - 0.05, f"{method} should improve with more labels"
+    # RDD stays at or near the top of the ensemble panel at each point.
+    for row in report.rows:
+        best = max(row["Bagging"], row["BANs"], row["RDD(Ensemble)"])
+        assert row["RDD(Ensemble)"] >= best - 0.05

@@ -1,0 +1,23 @@
+"""Extension bench: inductive generalization to unseen nodes."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import ext_inductive
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_inductive_generalization(benchmark, harness_config):
+    report = benchmark.pedantic(
+        lambda: ext_inductive.run(harness_config, unseen_fraction=0.5),
+        iterations=1,
+        rounds=1,
+    )
+    emit(report)
+    rows = {r["method"]: r["unseen_accuracy"] for r in report.rows}
+    # Hiding structure cannot help (allowing seed noise).
+    assert rows["GCN inductive"] <= rows["GCN transductive"] + 0.05
+    # RDD must remain functional and competitive with GCN inductively.
+    assert rows["RDD(Ensemble) inductive"] >= rows["GCN inductive"] - 0.05

@@ -1,0 +1,23 @@
+"""Extension bench: RDD's graceful degradation under feature noise."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import ext_noise
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_noise_robustness(benchmark, harness_config):
+    report = benchmark.pedantic(
+        lambda: ext_noise.run(harness_config, noise_levels=(0.0, 0.3)),
+        iterations=1,
+        rounds=1,
+    )
+    emit(report)
+    rows = {r["feature_noise"]: r for r in report.rows}
+    # Noise hurts everyone (sanity).
+    assert rows[0.3]["Single GCN"] <= rows[0.0]["Single GCN"] + 0.05
+    # RDD remains at least competitive with reliability-free KD under noise.
+    assert rows[0.3]["RDD(Ensemble)"] >= rows[0.3]["BANs"] - 0.04

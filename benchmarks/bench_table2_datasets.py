@@ -1,0 +1,43 @@
+"""Table 2 — dataset overview / generator calibration audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL, emit
+from repro.evaluation import table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dataset_calibration(benchmark, harness_config):
+    report = benchmark.pedantic(lambda: table2.run(harness_config), iterations=1, rounds=1)
+    emit(report)
+    for row in report.rows:
+        # Class counts are preserved at every scale.
+        assert row["classes"] == row["paper_classes"]
+        # Homophily lands near the calibration target.
+        assert abs(row["homophily"] - row["target_homophily"]) < 0.12
+        # Scarce-label regime preserved (the paper's setting is ~0.3–5.2%,
+        # NELL 10%).
+        assert row["label_rate"] < 0.15
+        if FULL:
+            assert row["nodes"] == row["paper_nodes"]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_full_scale_exact_counts(benchmark):
+    """At scale 1.0 the published node/feature/class counts are exact."""
+
+    def audit():
+        from repro.evaluation.common import HarnessConfig
+
+        return table2.run(HarnessConfig(scale=1.0, seeds=(0,)), datasets=("cora",))
+
+    report = benchmark.pedantic(audit, iterations=1, rounds=1)
+    emit(report)
+    row = report.rows[0]
+    assert row["nodes"] == 2708
+    assert row["features"] == 1433
+    assert row["classes"] == 7
+    # Edge count approximate (dedup losses), within 25%.
+    assert abs(row["edges"] - 5429) / 5429 < 0.25

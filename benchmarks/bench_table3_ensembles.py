@@ -1,0 +1,40 @@
+"""Table 3 — ensemble comparison (GCN, RDD single, Bagging, BANs, RDD ensemble).
+
+The headline table.  Shape assertions: RDD(Ensemble) beats the single GCN
+on every dataset and is at least competitive with Bagging/BANs (within
+noise at benchmark scale, strictly better under RDD_BENCH_FULL=1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_ensemble_comparison(benchmark, harness_config):
+    report = benchmark.pedantic(
+        lambda: table3.run(harness_config, datasets=("cora", "citeseer")),
+        iterations=1,
+        rounds=1,
+    )
+    emit(report)
+    by_key = {(r["dataset"], r["method"]): r["test_accuracy"] for r in report.rows}
+
+    # Cora: the headline ordering must hold strictly at benchmark scale.
+    gcn = by_key[("cora", "Single GCN")]
+    rdd_ens = by_key[("cora", "RDD(Ensemble)")]
+    assert rdd_ens > gcn, "cora: RDD ensemble must beat the single GCN"
+    assert by_key[("cora", "Bagging")] > gcn - 0.03
+    assert by_key[("cora", "BANs")] > gcn - 0.03
+    assert rdd_ens >= max(by_key[("cora", "Bagging")], by_key[("cora", "BANs")]) - 0.04
+
+    # Citeseer is the noisiest stand-in (per-seed std reaches ~0.1 at this
+    # budget; see the std column): require sanity bounds here and leave
+    # the strict ordering to the full-budget EXPERIMENTS run, where
+    # RDD(Single/Ensemble) do beat the GCN (see EXPERIMENTS.md).
+    cite_gcn = by_key[("citeseer", "Single GCN")]
+    assert by_key[("citeseer", "RDD(Ensemble)")] >= cite_gcn - 0.10
+    assert by_key[("citeseer", "Bagging")] >= cite_gcn - 0.10

@@ -1,0 +1,26 @@
+"""Table 6 — average-vs-ensemble accuracy and the diversity/accuracy trade.
+
+Shape targets: every method's ensemble beats its average base model;
+Bagging (independent bases) gains more than BANs (mimicking bases).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import table6
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_ensemble_gain(benchmark, harness_config):
+    report = benchmark.pedantic(lambda: table6.run(harness_config), iterations=1, rounds=1)
+    emit(report)
+    rows = {r["method"]: r for r in report.rows}
+    for method, row in rows.items():
+        assert row["gain"] > -0.02, f"{method}: ensembling should not hurt"
+    # Diversity story: Bagging's gain exceeds BANs' (paper: 2.4 vs 0.8).
+    assert rows["Bagging"]["gain"] >= rows["BANs"]["gain"] - 0.02
+    # RDD ends with the best ensemble accuracy.
+    best = max(r["ensemble"] for r in rows.values())
+    assert rows["RDD(Ensemble)"]["ensemble"] >= best - 0.02

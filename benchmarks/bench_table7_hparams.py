@@ -1,0 +1,35 @@
+"""Table 7 — hyperparameter grid p × γ × β on Cora (reduced grid).
+
+Shape targets: cells with γ>0 beat the γ=0 column on average (the L2
+knowledge transfer matters, the paper's strongest conclusion from this
+table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import table7
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_hyperparameter_grid(benchmark, quick_config):
+    report = benchmark.pedantic(
+        lambda: table7.run(
+            quick_config,
+            p_values=(40.0, 80.0),
+            gamma_values=(0.0, 1.0),
+            beta_values=(0.0, 1.0),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    emit(report)
+    gamma_on = [r["ensemble_accuracy"] for r in report.rows if r["gamma"] > 0]
+    gamma_off = [r["ensemble_accuracy"] for r in report.rows if r["gamma"] == 0]
+    assert np.mean(gamma_on) >= np.mean(gamma_off) - 0.02, "knowledge transfer (gamma) should help"
+    # All cells should stay in a sane accuracy band (no degenerate collapse).
+    for row in report.rows:
+        assert row["ensemble_accuracy"] > 0.4

@@ -1,0 +1,29 @@
+"""Table 8 — per-contribution ablations (No L2, No Lreg, WNR, WER, WKR, WEW)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import table8
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_ablations(benchmark, harness_config):
+    report = benchmark.pedantic(
+        lambda: table8.run(harness_config, datasets=("cora",)),
+        iterations=1,
+        rounds=1,
+    )
+    emit(report)
+    rows = {r["variant"]: r for r in report.rows if r["dataset"] == "cora"}
+    full = rows["RDD"]["ensemble_accuracy"]
+    # Shape: the full model tops (or ties within noise) every ablation.
+    for variant, row in rows.items():
+        if variant == "RDD":
+            continue
+        assert row["ensemble_accuracy"] <= full + 0.03, f"{variant} should not beat full RDD clearly"
+    # Removing the L2 knowledge transfer is among the most damaging ablations
+    # (paper: -1.7 on Cora, the largest single drop).
+    drops = {v: full - rows[v]["ensemble_accuracy"] for v in rows if v != "RDD"}
+    assert drops["No L2"] >= min(drops.values()) - 1e-9

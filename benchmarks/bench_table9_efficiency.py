@@ -1,0 +1,30 @@
+"""Table 9 — training-time efficiency: per-model cost vs models needed.
+
+Shape targets: RDD's per-model time is the highest (the per-epoch
+reliability updates add an extra forward pass — the paper measures ~2×
+Bagging); RDD needs no more base models than the baselines to reach the
+accuracy target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.evaluation import table9
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_efficiency(benchmark, harness_config):
+    report = benchmark.pedantic(
+        lambda: table9.run(harness_config, target_margin=0.015),
+        iterations=1,
+        rounds=1,
+    )
+    emit(report)
+    rows = {r["method"]: r for r in report.rows}
+    # RDD pays more per model ...
+    assert rows["RDD(Ensemble)"]["avg_time_per_model_s"] > rows["Bagging"]["avg_time_per_model_s"]
+    # ... but needs no more models than the worst baseline to hit the target.
+    worst_models = max(rows["Bagging"]["models_to_target"], rows["BANs"]["models_to_target"])
+    assert rows["RDD(Ensemble)"]["models_to_target"] <= worst_models + 0.5

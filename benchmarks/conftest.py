@@ -1,0 +1,65 @@
+"""Shared fixtures and configuration for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+compute budget (scaled synthetic datasets, shortened epochs) and prints
+the measured rows next to the paper's reference values.  Set the
+environment variable ``RDD_BENCH_FULL=1`` to run closer to the paper's
+protocol (full-scale datasets, more seeds, longer training) — expect
+minutes-to-hours per table on CPU.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.common import HarnessConfig
+
+FULL = os.environ.get("RDD_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def harness_config() -> HarnessConfig:
+    """Benchmark-sized (or full, with RDD_BENCH_FULL=1) compute budget."""
+    if FULL:
+        return HarnessConfig(
+            scale=1.0,
+            seeds=tuple(range(10)),
+            num_base_models=5,
+            max_epochs=300,
+            patience=20,
+        )
+    return HarnessConfig(
+        scale=0.25,
+        seeds=(0, 1, 2),
+        num_base_models=3,
+        max_epochs=100,
+        patience=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> HarnessConfig:
+    """Extra-small budget for the heaviest grids (Table 7, Figure 6)."""
+    if FULL:
+        return HarnessConfig(
+            scale=1.0,
+            seeds=tuple(range(5)),
+            num_base_models=5,
+            max_epochs=300,
+            patience=20,
+        )
+    return HarnessConfig(
+        scale=0.2,
+        seeds=(0, 1),
+        num_base_models=3,
+        max_epochs=80,
+        patience=15,
+    )
+
+
+def emit(report) -> None:
+    """Print a harness report (pytest -s shows it; always lands in logs)."""
+    print()
+    print(report.format())

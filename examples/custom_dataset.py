@@ -1,0 +1,90 @@
+"""Scenario: run RDD on your own graph.
+
+Shows the full adoption path for a downstream user with their own data:
+
+1. build a :class:`repro.graph.Graph` from raw edges / features / labels;
+2. register it so the CLI and harnesses can load it by name;
+3. train RDD and inspect the result.
+
+The demo data is a small "collaboration network": authors (nodes) with
+keyword-vector features, co-authorship edges, and research-area labels.
+
+Run with::
+
+    python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RDDConfig, train_rdd
+from repro.datasets import load_dataset, register_dataset
+from repro.graph import Graph, build_adjacency, summarize
+
+
+def build_collaboration_network(seed: int = 0, **_) -> Graph:
+    """Synthesize a 300-author collaboration network with 3 research areas."""
+    rng = np.random.default_rng(seed)
+    num_authors, num_areas, num_keywords = 300, 3, 60
+    labels = rng.integers(0, num_areas, num_authors)
+
+    # Co-authorship: mostly within an area, some cross-area collaborations.
+    edges = []
+    for _ in range(900):
+        a = int(rng.integers(num_authors))
+        if rng.random() < 0.85:  # within-area collaboration
+            candidates = np.flatnonzero(labels == labels[a])
+        else:
+            candidates = np.flatnonzero(labels != labels[a])
+        b = int(rng.choice(candidates))
+        if a != b:
+            edges.append((a, b))
+    adjacency = build_adjacency(num_authors, np.asarray(edges))
+
+    # Guard: attach any isolated author to a colleague in their area.
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    extra = []
+    for node in np.flatnonzero(degrees == 0):
+        peers = np.flatnonzero(labels == labels[node])
+        peers = peers[peers != node]
+        extra.append((node, int(rng.choice(peers))))
+    if extra:
+        adjacency = ((adjacency + build_adjacency(num_authors, np.asarray(extra))) > 0).astype(float)
+        adjacency.setdiag(0.0)
+        adjacency = adjacency.tocsr()
+        adjacency.eliminate_zeros()
+
+    # Keyword usage: each area favors a keyword block.
+    block = num_keywords // num_areas
+    rates = np.full((num_authors, num_keywords), 0.05)
+    for area in range(num_areas):
+        rows = labels == area
+        rates[np.ix_(rows, range(area * block, (area + 1) * block))] = 0.35
+    features = (rng.random((num_authors, num_keywords)) < rates).astype(np.float64)
+
+    # Semi-supervised split: 5 labeled authors per area.
+    train_parts = [rng.choice(np.flatnonzero(labels == a), 5, replace=False) for a in range(num_areas)]
+    train = np.sort(np.concatenate(train_parts))
+    rest = np.setdiff1d(np.arange(num_authors), train)
+    rng.shuffle(rest)
+    val, test = np.sort(rest[:60]), np.sort(rest[60:160])
+    return Graph(adjacency, features, labels, train, val, test, name="collaboration")
+
+
+def main() -> None:
+    register_dataset("collaboration", build_collaboration_network)
+    graph = load_dataset("collaboration", seed=42)
+    print(f"dataset: {graph}")
+    print(f"stats  : {summarize(graph)}\n")
+
+    result = train_rdd(graph, RDDConfig(num_base_models=4, max_epochs=120), seed=0)
+    print(f"RDD on the collaboration network: {result.summary()}")
+    print("\nPer-student reliability sets:")
+    for entry in result.reliability_history:
+        print(f"  student {entry['student']}: |V_r|={entry['num_reliable']} "
+              f"|V_b|={entry['num_distill']} |E_r|={entry['num_reliable_edges']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Scenario: dissect the self-boosting cycle.
+
+Trains RDD with a larger ensemble and prints, per student: its test
+accuracy, its entropy×PageRank weight (Eq. 12), the reliability-set sizes
+it trained with, and the running ensemble accuracy — making the
+"mutual-promoting cycle" of the paper's Figure 2 observable.
+
+Run with::
+
+    python examples/ensemble_anatomy.py
+"""
+
+from __future__ import annotations
+
+from repro import RDDConfig, RDDTrainer, pubmed_like
+
+
+def main() -> None:
+    graph = pubmed_like(seed=11, scale=0.05)
+    print(f"dataset: {graph}\n")
+
+    config = RDDConfig(num_base_models=6, max_epochs=120, gamma_initial=3.0)
+    result = RDDTrainer(config).fit(graph, seed=4)
+
+    print(f"{'student':>7s} {'test acc':>9s} {'ensemble@t':>11s}")
+    print("-" * 31)
+    for t, (base, running) in enumerate(
+        zip(result.base_test_accuracies, result.ensemble_curve), start=1
+    ):
+        print(f"{t:>7d} {base:>9.4f} {running:>11.4f}")
+
+    print("\nreliability sets seen by each student (first epoch):")
+    for entry in result.reliability_history:
+        print(
+            f"  student {entry['student']}: |V_r|={entry['num_reliable']:>5d} "
+            f"|V_b|={entry['num_distill']:>5d} |E_r|={entry['num_reliable_edges']:>5d}"
+        )
+
+    print(f"\nfinal ensemble: {result.summary()}")
+    print("Expected: later students (stronger teachers) match or beat earlier")
+    print("ones, and the running ensemble accuracy is non-degrading in t.")
+
+
+if __name__ == "__main__":
+    main()

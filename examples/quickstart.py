@@ -1,0 +1,42 @@
+"""Quickstart: train a plain GCN and RDD on a Cora-like citation network.
+
+Run with::
+
+    python examples/quickstart.py
+
+Expected outcome (seeds vary): RDD's ensemble — and usually even its last
+single student — beats the plain GCN by several accuracy points, which is
+the paper's headline claim.
+"""
+
+from __future__ import annotations
+
+from repro import GCN, RDDConfig, Trainer, cora_like, train_rdd
+from repro.training import make_rng
+
+
+def main() -> None:
+    # A calibrated synthetic stand-in for Cora at 25% scale (~670 nodes);
+    # use scale=1.0 for the full 2708-node configuration.
+    graph = cora_like(seed=2, scale=0.25)
+    print(f"dataset: {graph}")
+    print(f"label rate: {graph.label_rate:.1%}\n")
+
+    # Baseline: one 2-layer GCN (the paper's base model).
+    gcn = GCN(graph.num_features, graph.num_classes, make_rng(2))
+    gcn_result = Trainer(max_epochs=150).fit(gcn, graph)
+    print(f"single GCN      : {gcn_result.summary()}")
+
+    # Reliable Data Distillation: 5 self-boosted students + weighted ensemble.
+    config = RDDConfig(num_base_models=5, max_epochs=150, p=40.0, gamma_initial=1.0, beta=1.0)
+    rdd_result = train_rdd(graph, config, seed=2)
+    print(f"RDD             : {rdd_result.summary()}")
+    print(f"RDD single (last student) test accuracy: {rdd_result.last_base_test_accuracy:.4f}")
+    print(f"RDD ensemble test accuracy             : {rdd_result.ensemble_test_accuracy:.4f}")
+
+    gain = rdd_result.ensemble_test_accuracy - gcn_result.test_accuracy
+    print(f"\nRDD ensemble vs single GCN: {gain:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop``).  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

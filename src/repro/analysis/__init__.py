@@ -1,0 +1,41 @@
+"""Quantitative analyses backing the paper's qualitative arguments:
+ensemble diversity (Table 6), confidence calibration (Alg. 1's premise),
+over-smoothing (Table 5's premise), and oracle reliability quality."""
+
+from repro.analysis.boundary import BoundaryReport, boundary_mask, boundary_reliability_report
+from repro.analysis.calibration import (
+    CalibrationReport,
+    calibration_report,
+    entropy_correctness_auc,
+)
+from repro.analysis.diversity import (
+    ambiguity_decomposition,
+    pairwise_disagreement,
+    yule_q_statistic,
+)
+from repro.analysis.oversmoothing import depth_collapse_curve, mad_gap, mean_pairwise_distance
+from repro.analysis.reliability_quality import (
+    EdgeReliabilityQuality,
+    NodeReliabilityQuality,
+    edge_reliability_quality,
+    node_reliability_quality,
+)
+
+__all__ = [
+    "boundary_mask",
+    "boundary_reliability_report",
+    "BoundaryReport",
+    "pairwise_disagreement",
+    "yule_q_statistic",
+    "ambiguity_decomposition",
+    "CalibrationReport",
+    "calibration_report",
+    "entropy_correctness_auc",
+    "mean_pairwise_distance",
+    "mad_gap",
+    "depth_collapse_curve",
+    "NodeReliabilityQuality",
+    "EdgeReliabilityQuality",
+    "node_reliability_quality",
+    "edge_reliability_quality",
+]

@@ -1,0 +1,95 @@
+"""Ensemble-diversity metrics.
+
+The paper's Table 6 argument is qualitative ("Bagging has high diversity,
+BANs low"); these metrics make it quantitative so the claim itself can be
+tested: pairwise prediction disagreement, Yule's Q statistic, and the
+classic ambiguity decomposition (ensemble error = average error −
+ambiguity).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _as_prediction_matrix(predictions: Sequence[np.ndarray]) -> np.ndarray:
+    matrix = np.stack([np.asarray(p) for p in predictions])
+    if matrix.ndim == 3:  # probability rows → argmax classes
+        matrix = matrix.argmax(axis=2)
+    if matrix.ndim != 2:
+        raise ShapeError(f"expected (models, nodes[, classes]), got shape {matrix.shape}")
+    if matrix.shape[0] < 2:
+        raise ShapeError("diversity metrics need at least two models")
+    return matrix
+
+
+def pairwise_disagreement(predictions: Sequence[np.ndarray]) -> float:
+    """Mean fraction of nodes on which two base models disagree.
+
+    0 = identical predictors (no diversity), 1 = always conflicting.
+    """
+    matrix = _as_prediction_matrix(predictions)
+    num_models = matrix.shape[0]
+    total, pairs = 0.0, 0
+    for i in range(num_models):
+        for j in range(i + 1, num_models):
+            total += float((matrix[i] != matrix[j]).mean())
+            pairs += 1
+    return total / pairs
+
+
+def yule_q_statistic(predictions: Sequence[np.ndarray], labels: np.ndarray) -> float:
+    """Mean pairwise Yule's Q over correctness indicators.
+
+    Q ∈ [-1, 1]; 1 means the models are correct/incorrect on exactly the
+    same nodes (no complementary strength), values near 0 indicate
+    independent errors — the regime where ensembling pays.
+    """
+    matrix = _as_prediction_matrix(predictions)
+    labels = np.asarray(labels)
+    correct = matrix == labels[None, :]
+    num_models = correct.shape[0]
+    values: List[float] = []
+    for i in range(num_models):
+        for j in range(i + 1, num_models):
+            both = float(np.sum(correct[i] & correct[j]))
+            neither = float(np.sum(~correct[i] & ~correct[j]))
+            only_i = float(np.sum(correct[i] & ~correct[j]))
+            only_j = float(np.sum(~correct[i] & correct[j]))
+            denominator = both * neither + only_i * only_j
+            if denominator == 0:
+                values.append(1.0 if only_i + only_j == 0 else 0.0)
+            else:
+                values.append((both * neither - only_i * only_j) / denominator)
+    return float(np.mean(values))
+
+
+def ambiguity_decomposition(prob_list: Sequence[np.ndarray], labels: np.ndarray) -> dict:
+    """Krogh–Vedelsby style decomposition on squared error of probabilities.
+
+    Returns ``{"average_error", "ensemble_error", "ambiguity"}`` with
+    ``ensemble_error = average_error - ambiguity`` (exact for a uniform
+    average under squared loss).  Larger ambiguity = more useful
+    diversity.
+    """
+    probs = np.stack([np.asarray(p, dtype=np.float64) for p in prob_list])
+    if probs.ndim != 3:
+        raise ShapeError(f"expected (models, nodes, classes), got {probs.shape}")
+    labels = np.asarray(labels)
+    n, k = probs.shape[1], probs.shape[2]
+    one_hot = np.zeros((n, k))
+    one_hot[np.arange(n), labels] = 1.0
+
+    mean_probs = probs.mean(axis=0)
+    average_error = float(((probs - one_hot[None]) ** 2).sum(axis=2).mean())
+    ensemble_error = float(((mean_probs - one_hot) ** 2).sum(axis=1).mean())
+    ambiguity = float(((probs - mean_probs[None]) ** 2).sum(axis=2).mean())
+    return {
+        "average_error": average_error,
+        "ensemble_error": ensemble_error,
+        "ambiguity": ambiguity,
+    }

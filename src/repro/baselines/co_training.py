@@ -1,0 +1,117 @@
+"""Co-Training a GCN with a random-walk view (after Li et al., 2018).
+
+The random-walk view scores node-class affinity with an approximate
+personalized-PageRank matrix: the affinity of node ``v`` to class ``c``
+is the total PPR mass reaching ``v`` from the labeled seeds of ``c``.
+The most walk-confident nodes are pseudo-labeled and added to the GCN's
+training set — the walk "explores the global graph topology" that a
+shallow GCN cannot reach.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.graph.pagerank import personalized_propagation_matrix
+from repro.models.gcn import GCN
+from repro.tensor.functional import accuracy
+from repro.training.records import TrainResult
+from repro.training.seed import make_rng
+from repro.training.trainer import Trainer
+
+
+class CoTraining:
+    """GCN + random-walk co-training.
+
+    Parameters
+    ----------
+    additions_per_class:
+        Number of walk-confident nodes pseudo-labeled per class.
+    ppr_alpha / ppr_iterations:
+        Personalized-PageRank approximation parameters (dense ``n × n``
+        matrix — suitable for the citation-scale graphs used here).
+    """
+
+    def __init__(
+        self,
+        additions_per_class: int = 20,
+        ppr_alpha: float = 0.1,
+        ppr_iterations: int = 10,
+        hidden: int = 16,
+        dropout: float = 0.5,
+        max_epochs: int = 200,
+        patience: int = 20,
+        lr: float = 0.01,
+        weight_decay: float = 5e-4,
+    ):
+        if additions_per_class < 1:
+            raise ConfigError(f"additions_per_class must be >= 1, got {additions_per_class}")
+        self.additions_per_class = additions_per_class
+        self.ppr_alpha = ppr_alpha
+        self.ppr_iterations = ppr_iterations
+        self.hidden = hidden
+        self.dropout = dropout
+        self.trainer = Trainer(max_epochs=max_epochs, patience=patience, lr=lr, weight_decay=weight_decay)
+
+    def fit(self, graph: Graph, seed: int = 0) -> TrainResult:
+        """Pseudo-label with the walk view, then train the GCN once."""
+        start = time.perf_counter()
+        affinity = self._class_affinity(graph)
+        pseudo_labels = graph.labels.copy()
+        expanded = self._expand(graph, affinity, pseudo_labels)
+
+        augmented = graph.with_split(expanded)
+        augmented.labels = pseudo_labels
+        model = GCN(
+            graph.num_features, graph.num_classes, make_rng(seed),
+            hidden=self.hidden, dropout=self.dropout,
+        )
+        result = self.trainer.fit(model, augmented)
+
+        predictions = model.predict_logits(graph)
+        wall = time.perf_counter() - start
+        return TrainResult(
+            train_accuracy=accuracy(predictions, graph.labels, graph.train_index),
+            val_accuracy=accuracy(predictions, graph.labels, graph.val_index),
+            test_accuracy=accuracy(predictions, graph.labels, graph.test_index),
+            epochs_run=result.epochs_run,
+            best_epoch=result.best_epoch,
+            wall_time_s=wall,
+        )
+
+    def _class_affinity(self, graph: Graph) -> np.ndarray:
+        """``(n, k)`` PPR mass from each class's labeled seeds."""
+        ppr = personalized_propagation_matrix(
+            graph.adjacency, alpha=self.ppr_alpha, iterations=self.ppr_iterations
+        )
+        affinity = np.zeros((graph.num_nodes, graph.num_classes))
+        for c in range(graph.num_classes):
+            seeds = graph.train_index[graph.labels[graph.train_index] == c]
+            if len(seeds):
+                affinity[:, c] = ppr[seeds].sum(axis=0)
+        return affinity
+
+    def _expand(self, graph: Graph, affinity: np.ndarray, pseudo_labels: np.ndarray) -> np.ndarray:
+        """Pseudo-label the top walk-affinity nodes per class."""
+        protected = np.zeros(graph.num_nodes, dtype=bool)
+        protected[graph.train_index] = True
+        protected[graph.val_index] = True
+        protected[graph.test_index] = True
+
+        best_class = affinity.argmax(axis=1)
+        best_score = affinity.max(axis=1)
+        additions: List[int] = []
+        for c in range(graph.num_classes):
+            candidates = np.flatnonzero((best_class == c) & ~protected)
+            if len(candidates) == 0:
+                continue
+            top = candidates[np.argsort(best_score[candidates], kind="stable")[::-1]]
+            chosen = top[: self.additions_per_class]
+            pseudo_labels[chosen] = c
+            additions.extend(int(i) for i in chosen)
+        return np.union1d(graph.train_index, np.asarray(additions, dtype=np.int64))

@@ -1,0 +1,117 @@
+"""Mean Teacher (Tarvainen & Valpola, 2017) adapted to GCN.
+
+The teacher is an exponential moving average of the student's weights;
+the student minimizes supervised cross entropy plus a consistency MSE
+between its (dropout-noised) softmax outputs and the EMA teacher's
+outputs.  Discussed in the paper's §1/§2 as the canonical
+consistency-regularization KD ensemble; implemented here for completeness
+and used by the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.models.base import GraphModel, softmax_rows
+from repro.models.gcn import GCN
+from repro.nn.optim import Adam
+from repro.nn.schedules import EarlyStopping
+from repro.tensor import ops
+from repro.tensor.functional import accuracy, masked_cross_entropy
+from repro.tensor.tensor import Tensor
+from repro.training.records import TrainResult
+from repro.training.seed import make_rng
+
+
+class MeanTeacher:
+    """EMA-teacher consistency training for a 2-layer GCN.
+
+    Parameters
+    ----------
+    ema_decay:
+        EMA coefficient for the teacher weights (paper value 0.99-0.999).
+    consistency_weight:
+        Weight of the student-teacher consistency MSE.
+    """
+
+    def __init__(
+        self,
+        ema_decay: float = 0.99,
+        consistency_weight: float = 1.0,
+        hidden: int = 16,
+        dropout: float = 0.5,
+        max_epochs: int = 200,
+        patience: int = 20,
+        lr: float = 0.01,
+        weight_decay: float = 5e-4,
+    ):
+        if not 0.0 < ema_decay < 1.0:
+            raise ConfigError(f"ema_decay must be in (0, 1), got {ema_decay}")
+        self.ema_decay = ema_decay
+        self.consistency_weight = consistency_weight
+        self.hidden = hidden
+        self.dropout = dropout
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def fit(self, graph: Graph, seed: int = 0) -> TrainResult:
+        """Train the student with EMA-teacher consistency; report teacher metrics."""
+        start = time.perf_counter()
+        rng = make_rng(seed)
+        student = GCN(graph.num_features, graph.num_classes, rng, hidden=self.hidden, dropout=self.dropout)
+        teacher = GCN(
+            graph.num_features, graph.num_classes, make_rng(seed), hidden=self.hidden, dropout=self.dropout
+        )
+        teacher.load_state_dict(student.state_dict())
+
+        optimizer = Adam(student.parameters(), lr=self.lr, weight_decay=self.weight_decay)
+        stopper = EarlyStopping(patience=self.patience)
+        best_state = teacher.state_dict()
+
+        epochs_run = 0
+        for epoch in range(self.max_epochs):
+            epochs_run = epoch + 1
+            teacher_probs = softmax_rows(teacher.predict_logits(graph))
+
+            student.train()
+            logits = student(graph)
+            log_probs = ops.log_softmax(logits, axis=1)
+            supervised = masked_cross_entropy(log_probs, graph.labels, graph.train_index)
+            probs = ops.softmax(logits, axis=1)
+            diff = ops.sub(probs, Tensor(teacher_probs))
+            consistency = ops.mean(ops.sum(ops.mul(diff, diff), axis=1))
+            loss = ops.add(supervised, ops.mul(consistency, self.consistency_weight))
+
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            self._ema_update(student, teacher)
+
+            val_acc = accuracy(teacher.predict_logits(graph), graph.labels, graph.val_index)
+            if stopper.update(val_acc, epoch):
+                break
+            if stopper.improved:
+                best_state = teacher.state_dict()
+
+        teacher.load_state_dict(best_state)
+        predictions = teacher.predict_logits(graph)
+        return TrainResult(
+            train_accuracy=accuracy(predictions, graph.labels, graph.train_index),
+            val_accuracy=accuracy(predictions, graph.labels, graph.val_index),
+            test_accuracy=accuracy(predictions, graph.labels, graph.test_index),
+            epochs_run=epochs_run,
+            best_epoch=stopper.best_epoch,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def _ema_update(self, student: GraphModel, teacher: GraphModel) -> None:
+        """teacher ← decay·teacher + (1-decay)·student, parameter-wise."""
+        student_state = dict(student.named_parameters())
+        for name, param in teacher.named_parameters():
+            param.data *= self.ema_decay
+            param.data += (1.0 - self.ema_decay) * student_state[name].data

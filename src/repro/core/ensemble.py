@@ -1,0 +1,106 @@
+"""Graph-data-based ensemble (paper §4.3).
+
+Base model ``h_t`` receives weight ``α_t = 1 / Σ_i I_t(x_i)·Pr(x_i)``
+(Eq. 12): low prediction entropy on important (high-PageRank) nodes means
+high confidence, hence high weight.  The teacher ``H_T = Σ_t α_t h_t``
+(Eq. 13) averages the base models' softmax outputs with these weights.
+
+We additionally renormalize the weights to sum to one so the teacher's
+outputs remain a probability distribution — required because the teacher's
+softmax rows feed the entropy computations of Algorithm 1.  Renormalizing
+leaves all argmax decisions and relative weightings unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.tensor.functional import entropy
+
+
+def ensemble_weight(probs: np.ndarray, pagerank: np.ndarray) -> float:
+    """``α_t`` of one base model (Eq. 12) from its softmax outputs."""
+    probs = np.asarray(probs, dtype=np.float64)
+    pagerank = np.asarray(pagerank, dtype=np.float64)
+    if probs.ndim != 2 or pagerank.shape != (probs.shape[0],):
+        raise ShapeError(f"probs {probs.shape} incompatible with pagerank {pagerank.shape}")
+    weighted_entropy = float((entropy(probs) * pagerank).sum())
+    # A perfectly confident model has zero entropy; clamp to keep α finite.
+    return 1.0 / max(weighted_entropy, 1e-12)
+
+
+class EnsembleModel:
+    """A weighted softmax-averaging ensemble over stored base predictions.
+
+    Stores, per base model, its softmax outputs, its logits ("node
+    embeddings" ``F_t``), and its weight ``α_t``.  Serves as the RDD
+    *teacher*: :meth:`probs` drives node reliability, :meth:`embeddings`
+    is the distillation target, :meth:`predict` the teacher labels.
+    """
+
+    def __init__(self) -> None:
+        self._probs: List[np.ndarray] = []
+        self._logits: List[np.ndarray] = []
+        self._weights: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._probs)
+
+    def add(self, probs: np.ndarray, logits: np.ndarray, weight: float) -> None:
+        """Register one trained base model's detached outputs."""
+        probs = np.asarray(probs, dtype=np.float64)
+        logits = np.asarray(logits, dtype=np.float64)
+        if probs.shape != logits.shape:
+            raise ShapeError(f"probs {probs.shape} and logits {logits.shape} must match")
+        if self._probs and probs.shape != self._probs[0].shape:
+            raise ShapeError(
+                f"base model output shape {probs.shape} differs from ensemble {self._probs[0].shape}"
+            )
+        if weight <= 0:
+            raise ConfigError(f"ensemble weight must be positive, got {weight}")
+        self._probs.append(probs)
+        self._logits.append(logits)
+        self._weights.append(float(weight))
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalized base-model weights (sum to one)."""
+        if not self._weights:
+            raise ConfigError("ensemble is empty")
+        raw = np.asarray(self._weights, dtype=np.float64)
+        return raw / raw.sum()
+
+    @property
+    def raw_weights(self) -> np.ndarray:
+        """Unnormalized α_t values as computed by Eq. 12."""
+        return np.asarray(self._weights, dtype=np.float64)
+
+    def probs(self) -> np.ndarray:
+        """Teacher softmax outputs ``H_T(x)`` (Eq. 13, normalized weights)."""
+        weights = self.weights
+        stacked = np.stack(self._probs)
+        return np.einsum("t,tnk->nk", weights, stacked)
+
+    def embeddings(self) -> np.ndarray:
+        """Teacher node embeddings ``F_T(x)``: weighted average of logits."""
+        weights = self.weights
+        stacked = np.stack(self._logits)
+        return np.einsum("t,tnk->nk", weights, stacked)
+
+    def predict(self) -> np.ndarray:
+        """Teacher argmax labels."""
+        return self.probs().argmax(axis=1)
+
+    def base_predictions(self, index: int) -> np.ndarray:
+        """Argmax labels of base model ``index``."""
+        return self._probs[index].argmax(axis=1)
+
+
+def uniform_softmax_ensemble(prob_list: Sequence[np.ndarray]) -> np.ndarray:
+    """Plain unweighted softmax averaging (Bagging / BANs / WEW ablation)."""
+    if not prob_list:
+        raise ConfigError("cannot ensemble zero models")
+    return np.mean(np.stack([np.asarray(p, dtype=np.float64) for p in prob_list]), axis=0)

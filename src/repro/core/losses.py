@@ -1,0 +1,97 @@
+"""The composite RDD student objective (paper §4.2.3, Eq. 10).
+
+``L = L1 + γ(e)·L2 + β·Lreg`` where
+
+* ``L1`` — cross entropy on the labeled nodes (Eq. 6);
+* ``L2`` — squared embedding distance to the teacher on ``V_b`` (Eq. 7);
+* ``Lreg`` — Graph-Laplacian pull on the reliable edges ``E_r`` (Eq. 9);
+* ``γ(e)`` — cosine-annealed knowledge-transfer weight (Eq. 14).
+
+The paper writes ``L2``/``Lreg`` as sums; we average over rows/edges *and*
+over the embedding dimension so the three terms share the cross-entropy's
+scale and the γ/β settings transfer across datasets of different class
+counts.  This changes only the effective magnitude of γ and β, which the
+paper tunes per dataset anyway (Table 7 sweeps them here too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.tensor import ops
+from repro.tensor.functional import edge_regularization, embedding_mse, masked_cross_entropy
+from repro.tensor.tensor import Tensor
+
+
+#: Supported formulations of the L2 distillation term.
+#:
+#: * ``"logit_mse"`` — squared distance between student logits and the
+#:   teacher's (weight-averaged) last-layer embeddings, the literal Eq. 7;
+#: * ``"prob_mse"``  — squared distance between student softmax rows and the
+#:   teacher's softmax rows (same information, bounded scale — markedly more
+#:   stable when the teacher is an average of independently-trained models
+#:   whose raw logit scales differ);
+#: * ``"kl"``        — cross entropy toward the teacher distribution, the
+#:   classic KD objective.
+DISTILL_MODES = ("logit_mse", "prob_mse", "kl")
+
+
+@dataclass
+class RDDLossState:
+    """Mutable per-epoch state consumed by :func:`rdd_student_loss`.
+
+    The RDD trainer refreshes ``distill_index`` / reliable edge arrays at
+    the start of every epoch (Algorithms 1–2 run inside the epoch loop)
+    and updates ``gamma`` from the cosine schedule.
+    """
+
+    teacher_embeddings: np.ndarray
+    teacher_probs: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    distill_index: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    edge_src: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    edge_dst: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    gamma: float = 0.0
+    beta: float = 0.0
+    distill_mode: str = "prob_mse"
+
+
+def rdd_student_loss(graph: Graph, logits: Tensor, state: RDDLossState) -> Tensor:
+    """Assemble Eq. 10 for the current epoch.
+
+    Parameters
+    ----------
+    graph:
+        Provides labels and the labeled index for ``L1``.
+    logits:
+        Student's last-layer embeddings (pre-softmax), the tape's live node.
+    state:
+        Current reliability sets, teacher targets, and loss coefficients.
+    """
+    k = logits.shape[1]
+    log_probs = ops.log_softmax(logits, axis=1)
+    loss = masked_cross_entropy(log_probs, graph.labels, graph.train_index)
+    if state.gamma > 0.0 and len(state.distill_index):
+        l2 = _distill_term(logits, log_probs, state, k)
+        loss = ops.add(loss, ops.mul(l2, state.gamma))
+    if state.beta > 0.0 and len(state.edge_src):
+        lreg = edge_regularization(logits, state.edge_src, state.edge_dst)
+        loss = ops.add(loss, ops.mul(lreg, state.beta / k))
+    return loss
+
+
+def _distill_term(logits: Tensor, log_probs: Tensor, state: RDDLossState, k: int) -> Tensor:
+    """The L2 term in the configured formulation (see :data:`DISTILL_MODES`)."""
+    index = state.distill_index
+    if state.distill_mode == "logit_mse":
+        return ops.mul(embedding_mse(logits, state.teacher_embeddings, index), 1.0 / k)
+    if state.distill_mode == "prob_mse":
+        probs = ops.softmax(ops.gather(logits, index), axis=1)
+        diff = ops.sub(probs, Tensor(state.teacher_probs[index]))
+        return ops.mean(ops.sum(ops.mul(diff, diff), axis=1))
+    if state.distill_mode == "kl":
+        picked = ops.gather(log_probs, index)
+        per_row = -ops.sum(ops.mul(Tensor(state.teacher_probs[index]), picked), axis=1)
+        return ops.mean(per_row)
+    raise ValueError(f"unknown distill_mode {state.distill_mode!r}; choose from {DISTILL_MODES}")

@@ -1,0 +1,39 @@
+"""Uncertainty scores for node reliability.
+
+The paper scores prediction (un)certainty with Shannon entropy (§3.1).
+Entropy is one member of a family; this module makes the score pluggable
+so the choice itself can be ablated:
+
+* ``"entropy"``    — Shannon entropy of the softmax row (the paper's);
+* ``"margin"``     — 1 − (p₁ − p₂), the complement of the top-two margin;
+* ``"confidence"`` — 1 − max probability.
+
+All scores are *uncertainties*: higher means less certain, so the lowest
+``p``% are treated as reliable, exactly as in Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor.functional import entropy
+
+RELIABILITY_SCORES = ("entropy", "margin", "confidence")
+
+
+def uncertainty_score(probs: np.ndarray, score: str = "entropy") -> np.ndarray:
+    """Per-row uncertainty of softmax outputs (higher = less certain)."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ConfigError(f"probs must be 2-D, got shape {probs.shape}")
+    if score == "entropy":
+        return entropy(probs)
+    if score == "margin":
+        if probs.shape[1] < 2:
+            raise ConfigError("margin score needs at least two classes")
+        top_two = np.sort(probs, axis=1)[:, -2:]
+        return 1.0 - (top_two[:, 1] - top_two[:, 0])
+    if score == "confidence":
+        return 1.0 - probs.max(axis=1)
+    raise ConfigError(f"unknown reliability score {score!r}; choose from {RELIABILITY_SCORES}")

@@ -1,0 +1,85 @@
+"""Save/load generated datasets.
+
+The synthetic stand-ins are deterministic given (spec, seed, scale), but
+pinning the exact instance to disk makes experiments immune to generator
+changes across library versions — important when comparing numbers over
+time.  Graphs serialize to a single ``.npz``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DatasetError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Serialize ``graph`` (structure, features, labels, split) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    adjacency = graph.adjacency.tocoo()
+    payload = {
+        "version": np.asarray(_FORMAT_VERSION),
+        "name": np.asarray(graph.name),
+        "num_nodes": np.asarray(graph.num_nodes),
+        "adj_row": adjacency.row.astype(np.int64),
+        "adj_col": adjacency.col.astype(np.int64),
+        "labels": graph.labels,
+        "train_index": graph.train_index,
+        "val_index": graph.val_index,
+        "test_index": graph.test_index,
+    }
+    features = graph.features
+    if sp.issparse(features):
+        features = features.tocoo()
+        payload.update(
+            features_sparse=np.asarray(True),
+            feat_row=features.row.astype(np.int64),
+            feat_col=features.col.astype(np.int64),
+            feat_data=features.data.astype(np.float64),
+            feat_shape=np.asarray(features.shape),
+        )
+    else:
+        payload.update(features_sparse=np.asarray(False), features=np.asarray(features))
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Load a graph written by :func:`save_graph`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no dataset file at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(f"unsupported dataset format version {version}")
+        num_nodes = int(archive["num_nodes"])
+        data = np.ones(len(archive["adj_row"]))
+        adjacency = sp.csr_matrix(
+            (data, (archive["adj_row"], archive["adj_col"])), shape=(num_nodes, num_nodes)
+        )
+        if bool(archive["features_sparse"]):
+            shape = tuple(archive["feat_shape"])
+            features = sp.csr_matrix(
+                (archive["feat_data"], (archive["feat_row"], archive["feat_col"])), shape=shape
+            )
+        else:
+            features = archive["features"]
+        return Graph(
+            adjacency,
+            features,
+            archive["labels"],
+            archive["train_index"],
+            archive["val_index"],
+            archive["test_index"],
+            name=str(archive["name"]),
+        )

@@ -1,0 +1,41 @@
+"""Dataset registry: name → factory resolution for harnesses and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.citation import citeseer_like, cora_like, nell_like, pubmed_like
+from repro.errors import DatasetError
+from repro.graph.graph import Graph
+
+_FACTORIES: Dict[str, Callable[..., Graph]] = {
+    "cora": cora_like,
+    "citeseer": citeseer_like,
+    "pubmed": pubmed_like,
+    "nell": nell_like,
+}
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_FACTORIES)
+
+
+def load_dataset(name: str, **kwargs) -> Graph:
+    """Instantiate a dataset stand-in by name.
+
+    Keyword arguments (``seed``, ``scale``, ...) are forwarded to the
+    factory; see :mod:`repro.datasets.citation`.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_dataset(name: str, factory: Callable[..., Graph]) -> None:
+    """Register a custom dataset factory under ``name`` (overwrites)."""
+    _FACTORIES[name.lower()] = factory

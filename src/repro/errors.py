@@ -1,0 +1,30 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming mistakes such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operation received tensors or arrays with incompatible shapes."""
+
+
+class GraphError(ReproError, ValueError):
+    """A graph is malformed or an operation is invalid for this graph."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset specification or split request is invalid."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """A training loop was configured or driven incorrectly."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An experiment or model configuration is invalid."""

@@ -1,0 +1,27 @@
+"""Experiment harnesses — one module per table/figure of the paper's §5.
+
+Every module exposes ``run(config: HarnessConfig) -> ExperimentReport``
+plus the paper's reference numbers; the ``benchmarks/`` suite regenerates
+each artifact by calling these.
+"""
+
+from repro.evaluation import ext_inductive, ext_noise, fig1, fig3, fig6, table2, table3, table4, table5, table6, table7, table8, table9
+from repro.evaluation.common import ExperimentReport, HarnessConfig
+
+__all__ = [
+    "HarnessConfig",
+    "ExperimentReport",
+    "fig1",
+    "fig3",
+    "ext_noise",
+    "ext_inductive",
+    "fig6",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+]

@@ -1,0 +1,190 @@
+"""Shared infrastructure for the per-table/figure experiment harnesses.
+
+Each harness module exposes a ``run(config) -> ExperimentReport`` function
+plus paper reference values, so benchmarks, examples, and EXPERIMENTS.md
+all drive the same code.  ``HarnessConfig`` controls the compute budget:
+the defaults are CPU-benchmark sized (scaled datasets, shortened epochs);
+pass ``scale=1.0, max_epochs=300, seeds=range(10)`` to approach the
+paper's full protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.bagging import BaggingEnsemble
+from repro.baselines.bans import BANsEnsemble
+from repro.core.config import RDDConfig
+from repro.core.rdd import RDDTrainer
+from repro.datasets.registry import load_dataset
+from repro.graph.graph import Graph
+from repro.models.gcn import GCN
+from repro.training.records import EnsembleResult, TrainResult
+from repro.training.seed import make_rng
+from repro.training.trainer import Trainer
+
+
+@dataclass
+class HarnessConfig:
+    """Compute budget for one experiment harness.
+
+    Attributes
+    ----------
+    scale:
+        Dataset shrink factor (see :meth:`CitationSpec.scaled`).
+    seeds:
+        Random seeds; results are averaged ("we run each method 10 times
+        and report the mean" — we default to fewer for CPU benches).
+    num_base_models:
+        Ensemble size ``T`` (paper: 5).
+    max_epochs / patience:
+        Per-model training budget.
+    hidden / dropout:
+        Base GCN architecture.
+    """
+
+    scale: float = 0.2
+    seeds: Sequence[int] = (0, 1, 2)
+    num_base_models: int = 5
+    max_epochs: int = 100
+    patience: int = 20
+    hidden: int = 16
+    dropout: float = 0.5
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+
+    def trainer(self) -> Trainer:
+        return Trainer(
+            max_epochs=self.max_epochs,
+            patience=self.patience,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+        )
+
+    def rdd_config(self, **overrides) -> RDDConfig:
+        base = dict(
+            num_base_models=self.num_base_models,
+            max_epochs=self.max_epochs,
+            patience=self.patience,
+            hidden=self.hidden,
+            dropout=self.dropout,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+        )
+        base.update(overrides)
+        return RDDConfig(**base)
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform result payload returned by every harness."""
+
+    experiment: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def format(self) -> str:
+        """Render the rows as an aligned text table."""
+        if not self.rows:
+            return f"[{self.experiment}] (no rows)"
+        columns = list(self.rows[0].keys())
+        rendered = [[_format_cell(row.get(col)) for col in columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+        ]
+        header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+        separator = "-+-".join("-" * w for w in widths)
+        body = "\n".join(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)) for r in rendered
+        )
+        title = f"== {self.experiment} =="
+        note = f"\n{self.notes}" if self.notes else ""
+        return f"{title}\n{header}\n{separator}\n{body}{note}"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Method runners (shared across tables)
+# ----------------------------------------------------------------------
+def run_single_gcn(graph: Graph, config: HarnessConfig, seed: int, num_layers: int = 2) -> TrainResult:
+    """Train one plain GCN (the "Single GCN" rows)."""
+    model = GCN(
+        graph.num_features,
+        graph.num_classes,
+        make_rng(seed),
+        hidden=config.hidden,
+        num_layers=num_layers,
+        dropout=config.dropout,
+    )
+    return config.trainer().fit(model, graph)
+
+
+def run_bagging(graph: Graph, config: HarnessConfig, seed: int) -> EnsembleResult:
+    """Train the Bagging ensemble baseline."""
+    method = BaggingEnsemble(
+        num_base_models=config.num_base_models,
+        hidden=config.hidden,
+        dropout=config.dropout,
+        max_epochs=config.max_epochs,
+        patience=config.patience,
+        lr=config.lr,
+        weight_decay=config.weight_decay,
+    )
+    return method.fit(graph, seed=seed)
+
+
+def run_bans(graph: Graph, config: HarnessConfig, seed: int) -> EnsembleResult:
+    """Train the BANs ensemble baseline."""
+    method = BANsEnsemble(
+        num_base_models=config.num_base_models,
+        hidden=config.hidden,
+        dropout=config.dropout,
+        max_epochs=config.max_epochs,
+        patience=config.patience,
+        lr=config.lr,
+        weight_decay=config.weight_decay,
+    )
+    return method.fit(graph, seed=seed)
+
+
+# Paper §5.1: γ_initial per dataset (1 / 3 / 3 / 0.01).
+PAPER_GAMMA_INITIAL = {"cora": 1.0, "citeseer": 3.0, "pubmed": 3.0, "nell": 0.01}
+
+
+def run_rdd(graph: Graph, config: HarnessConfig, seed: int, **overrides) -> EnsembleResult:
+    """Train RDD (ensemble + single metrics in one result).
+
+    When the caller does not override ``gamma_initial``, the paper's
+    per-dataset value is applied based on the graph's name.
+    """
+    if "gamma_initial" not in overrides and graph.name in PAPER_GAMMA_INITIAL:
+        overrides = {**overrides, "gamma_initial": PAPER_GAMMA_INITIAL[graph.name]}
+    return RDDTrainer(config.rdd_config(**overrides)).fit(graph, seed=seed)
+
+
+def mean_over_seeds(values: Sequence[float]) -> float:
+    """Mean of per-seed metrics (the paper reports mean over 10 runs)."""
+    return float(np.mean(values))
+
+
+def std_over_seeds(values: Sequence[float]) -> float:
+    """Sample standard deviation across seeds (0 for a single seed)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    return float(np.std(values, ddof=1))
+
+
+def load_graphs(config: HarnessConfig, dataset: str) -> List[Graph]:
+    """One graph instance per seed (structure varies with the seed, as the
+    synthetic stand-ins re-sample the graph; this subsumes the paper's
+    repeated-runs protocol)."""
+    return [load_dataset(dataset, seed=seed, scale=config.scale) for seed in config.seeds]

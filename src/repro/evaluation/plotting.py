@@ -1,0 +1,84 @@
+"""Dependency-free ASCII line charts for the paper's figures.
+
+The repository has no plotting stack (offline environment), so Figure 1
+and Figure 6 are rendered as terminal charts: one glyph per series,
+y-axis auto-scaled, legend below.  Good enough to eyeball the shapes the
+benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+_GLYPHS = "ox*+#@%&"
+
+
+def ascii_line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render multiple series over shared x positions as ASCII art.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x coordinates (monotonically increasing).
+    series:
+        Mapping of series name → y values (same length as ``x_values``).
+    width / height:
+        Plot area size in characters.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    x_values = list(x_values)
+    if len(x_values) < 2:
+        raise ConfigError("need at least two x positions")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigError(f"series {name!r} has {len(ys)} points for {len(x_values)} x values")
+    if len(series) > len(_GLYPHS):
+        raise ConfigError(f"at most {len(_GLYPHS)} series supported")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1e-9
+    x_min, x_max = x_values[0], x_values[-1]
+    if x_max == x_min:
+        raise ConfigError("x range is degenerate")
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    for glyph, (name, ys) in zip(_GLYPHS, series.items()):
+        for x, y in zip(x_values, ys):
+            grid[to_row(y)][to_col(x)] = glyph
+
+    lines = []
+    lines.append(f"{y_max:8.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{y_min:8.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 8 + " └" + "─" * width)
+    lines.append(" " * 10 + f"{x_min:<10.3g}{x_label:^{max(width - 20, 4)}}{x_max:>10.3g}")
+    legend = "   ".join(f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series))
+    lines.append(f"  [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def chart_from_report(report, x_key: str, series_keys: Sequence[str], **kwargs) -> str:
+    """Build a chart directly from :class:`ExperimentReport` rows."""
+    x_values = [row[x_key] for row in report.rows]
+    series = {key: [row[key] for row in report.rows] for key in series_keys}
+    return ascii_line_chart(x_values, series, x_label=x_key, **kwargs)

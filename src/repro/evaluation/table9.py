@@ -1,0 +1,90 @@
+"""Table 9: training-time efficiency on Cora.
+
+The paper reports, for an 84% test-accuracy target: average time per base
+model and how many base models each ensemble needs.  RDD pays ~2× per
+model (per-epoch reliability updates require an extra forward pass) but
+needs fewer models, so total time is comparable:
+
+    Bagging: 2.032s × 4 ≈ 8.1s;  BANs: 2.652s × 3 ≈ 8.0s;  RDD: 4.158s × 2 ≈ 8.3s.
+
+The harness sets the target relative to the measured single-GCN accuracy
+(the paper's 84% is GCN + ~2.2 points on Cora) so it transfers to the
+synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.evaluation.common import (
+    ExperimentReport,
+    HarnessConfig,
+    load_graphs,
+    mean_over_seeds,
+    run_bagging,
+    run_bans,
+    run_rdd,
+    run_single_gcn,
+)
+
+PAPER_TABLE9 = {
+    "Bagging": {"avg_time_s": 2.032, "num_models": 4, "total_s": 8.128},
+    "BANs": {"avg_time_s": 2.652, "num_models": 3, "total_s": 7.956},
+    "RDD(Ensemble)": {"avg_time_s": 4.158, "num_models": 2, "total_s": 8.316},
+}
+
+
+def run(
+    config: Optional[HarnessConfig] = None,
+    dataset: str = "cora",
+    target_margin: float = 0.02,
+) -> ExperimentReport:
+    """Measure per-model time and models-to-target for each ensemble.
+
+    ``target_margin`` is added to the measured single-GCN accuracy to set
+    the accuracy target (paper's 84% on Cora ≈ GCN 81.8% + 2.2).
+    """
+    config = config or HarnessConfig()
+    graphs = load_graphs(config, dataset)
+    gcn_acc = mean_over_seeds(
+        [run_single_gcn(g, config, s).test_accuracy for g, s in zip(graphs, config.seeds)]
+    )
+    target = gcn_acc + target_margin
+
+    report = ExperimentReport(
+        experiment=f"Table 9: efficiency ({dataset}, target={target:.3f})",
+        notes=(
+            "Shape targets: RDD per-model time ~2x Bagging's; RDD reaches the "
+            "target with the fewest base models; totals comparable."
+        ),
+    )
+    runners = {"Bagging": run_bagging, "BANs": run_bans, "RDD(Ensemble)": run_rdd}
+    for method, runner in runners.items():
+        results = [runner(g, config, s) for g, s in zip(graphs, config.seeds)]
+        avg_time = mean_over_seeds([r.average_model_time_s for r in results])
+        reached = [r.models_to_reach(target) for r in results]
+        # Count a miss as needing the full ensemble (conservative).
+        needed = mean_over_seeds([n if n is not None else config.num_base_models for n in reached])
+        paper = PAPER_TABLE9[method]
+        # For RDD, isolate the reliability-update overhead that explains
+        # the per-model cost inflation the paper reports.
+        overhead = mean_over_seeds(
+            [
+                getattr(r, "reliability_time_s", 0.0) / max(r.wall_time_s, 1e-9)
+                for r in results
+            ]
+        )
+        report.rows.append(
+            {
+                "method": method,
+                "avg_time_per_model_s": avg_time,
+                "models_to_target": needed,
+                "total_time_s": avg_time * needed,
+                "target_reached": sum(1 for n in reached if n is not None),
+                "reliability_overhead": overhead,
+                "paper_avg_time_s": paper["avg_time_s"],
+                "paper_num_models": paper["num_models"],
+                "paper_total_s": paper["total_s"],
+            }
+        )
+    return report

@@ -1,0 +1,125 @@
+"""Neighbor sampling for minibatch training (GraphSAGE-style).
+
+The paper's related work (§6) highlights that spatial GCNs can train on
+"a batch of nodes instead of the whole graph" via neighborhood sampling.
+This module provides the substrate: per-node uniform neighbor sampling
+and layer-wise sampled computation blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+
+
+def sample_neighbors(
+    adjacency: sp.spmatrix,
+    nodes: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+) -> tuple:
+    """Sample up to ``fanout`` neighbors for each node in ``nodes``.
+
+    Returns ``(src, dst)`` arrays of sampled directed edges
+    ``neighbor -> node``.  Nodes are sampled *with replacement* when their
+    degree exceeds the fanout is False — i.e., without replacement up to
+    ``min(degree, fanout)`` — and nodes with no neighbors contribute a
+    self-edge so every node receives at least one message.
+    """
+    if fanout < 1:
+        raise GraphError(f"fanout must be >= 1, got {fanout}")
+    csr = adjacency.tocsr()
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    for node in np.asarray(nodes, dtype=np.int64):
+        neighbors = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+        if len(neighbors) == 0:
+            chosen = np.asarray([node])
+        elif len(neighbors) <= fanout:
+            chosen = neighbors
+        else:
+            chosen = rng.choice(neighbors, size=fanout, replace=False)
+        src_parts.append(chosen.astype(np.int64))
+        dst_parts.append(np.full(len(chosen), node, dtype=np.int64))
+    return np.concatenate(src_parts), np.concatenate(dst_parts)
+
+
+@dataclass
+class SampledBlock:
+    """One layer's sampled computation block.
+
+    Attributes
+    ----------
+    input_nodes:
+        Global ids of the nodes whose representations feed this layer.
+    output_nodes:
+        Global ids of the nodes this layer produces (a prefix of
+        ``input_nodes`` — every output node also appears as an input so
+        self information is preserved).
+    edge_src / edge_dst:
+        Message edges in *local* (block-relative) indices:
+        ``edge_src`` indexes ``input_nodes``, ``edge_dst`` indexes
+        ``output_nodes``.
+    """
+
+    input_nodes: np.ndarray
+    output_nodes: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+
+
+def build_blocks(
+    adjacency: sp.spmatrix,
+    seed_nodes: np.ndarray,
+    fanouts: Sequence[int],
+    rng: np.random.Generator,
+) -> List[SampledBlock]:
+    """Build layer-wise sampled blocks for ``seed_nodes``.
+
+    ``fanouts`` is ordered from the *output* layer inward (fanouts[0]
+    samples the last layer's neighbors).  Returns blocks ordered from the
+    input layer to the output layer, ready to be consumed sequentially by
+    a forward pass.
+    """
+    if len(fanouts) == 0:
+        raise GraphError("need at least one fanout")
+    blocks: List[SampledBlock] = []
+    current = np.unique(np.asarray(seed_nodes, dtype=np.int64))
+    for fanout in fanouts:
+        src, dst = sample_neighbors(adjacency, current, fanout, rng)
+        input_nodes, inverse = np.unique(np.concatenate([current, src]), return_inverse=True)
+        # Local indices: outputs first (current), then any new sources.
+        # Reorder so current nodes occupy the first len(current) slots.
+        order = {node: i for i, node in enumerate(current)}
+        extras = [n for n in input_nodes if n not in order]
+        local_ids = {**order, **{n: len(order) + i for i, n in enumerate(extras)}}
+        ordered_inputs = np.asarray(list(current) + extras, dtype=np.int64)
+
+        local_src = np.asarray([local_ids[s] for s in src], dtype=np.int64)
+        local_dst = np.asarray([local_ids[d] for d in dst], dtype=np.int64)
+        blocks.append(
+            SampledBlock(
+                input_nodes=ordered_inputs,
+                output_nodes=current.copy(),
+                edge_src=local_src,
+                edge_dst=local_dst,
+            )
+        )
+        current = ordered_inputs
+    blocks.reverse()  # input layer first
+    return blocks
+
+
+def minibatches(
+    index: np.ndarray, batch_size: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Shuffle ``index`` and split it into batches of ``batch_size``."""
+    if batch_size < 1:
+        raise GraphError(f"batch_size must be >= 1, got {batch_size}")
+    shuffled = rng.permutation(np.asarray(index, dtype=np.int64))
+    return [shuffled[i : i + batch_size] for i in range(0, len(shuffled), batch_size)]

@@ -1,0 +1,72 @@
+"""Persistence helpers: model checkpoints (.npz) and report files (.json).
+
+Checkpoints store a module's state dict; reports store the structured
+rows produced by the evaluation harnesses, so experiment outputs survive
+the process and EXPERIMENTS.md can be regenerated without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.evaluation.common import ExperimentReport
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(model: Module, path: PathLike) -> None:
+    """Write ``model``'s state dict to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    # npz keys cannot contain '/', dots are fine.
+    np.savez(path, **state)
+
+
+def load_checkpoint(model: Module, path: PathLike) -> None:
+    """Load a state dict written by :func:`save_checkpoint` into ``model``."""
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+
+
+def _json_safe(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        value = float(value)
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def save_report(report: ExperimentReport, path: PathLike) -> None:
+    """Serialize an :class:`ExperimentReport` to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": report.experiment,
+        "notes": report.notes,
+        "rows": [{k: _json_safe(v) for k, v in row.items()} for row in report.rows],
+    }
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_report(path: PathLike) -> ExperimentReport:
+    """Load a report written by :func:`save_report` (NaNs restored)."""
+    payload = json.loads(Path(path).read_text())
+    rows = [
+        {k: (float("nan") if v is None else v) for k, v in row.items()}
+        for row in payload["rows"]
+    ]
+    return ExperimentReport(
+        experiment=payload["experiment"], rows=rows, notes=payload.get("notes", "")
+    )

@@ -1,0 +1,50 @@
+"""Shared interface for node-classification models.
+
+All models map a :class:`repro.graph.Graph` to per-node logits; the logits
+double as the "node embeddings" ``F_t(x_i)`` that RDD distills (the paper
+mimics the last layer's embedding, i.e. the pre-softmax output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class GraphModel(Module):
+    """Base class: ``forward(graph) -> logits`` of shape ``(n, k)``."""
+
+    def forward(self, graph: Graph) -> Tensor:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Inference conveniences (no autodiff tape)
+    # ------------------------------------------------------------------
+    def predict_logits(self, graph: Graph) -> np.ndarray:
+        """Evaluation-mode logits as a plain ndarray."""
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.forward(graph).data
+        finally:
+            if was_training:
+                self.train()
+        return logits
+
+    def predict_proba(self, graph: Graph) -> np.ndarray:
+        """Evaluation-mode softmax probabilities."""
+        return softmax_rows(self.predict_logits(graph))
+
+    def predict(self, graph: Graph) -> np.ndarray:
+        """Evaluation-mode argmax class predictions."""
+        return self.predict_logits(graph).argmax(axis=1)
+
+
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of an ndarray (stable)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)

@@ -1,0 +1,80 @@
+"""Densely connected GCN (DenseGCN, after Li et al. 2019).
+
+Each layer receives the concatenation of all previous layers' outputs
+(dense connectivity), preserving information from shallow layers.  The
+paper shrinks hidden widths with depth for JK-Net/DenseGCN (e.g.
+``{90, 70, 50, 30, 10, F}`` for 6 layers); :func:`shrinking_widths`
+reproduces that scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.models.base import GraphModel
+from repro.nn.layers import Dropout, GraphConvolution
+from repro.nn.module import ModuleList
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+def shrinking_widths(num_layers: int, step: int = 20) -> List[int]:
+    """Hidden widths decreasing by ``step`` per layer, as the paper does.
+
+    For 6 layers with ``step=20`` this yields ``[90, 70, 50, 30, 10]``
+    (the final classification layer is appended by the model).
+    """
+    if num_layers < 2:
+        raise ConfigError(f"need num_layers >= 2, got {num_layers}")
+    top = step * (num_layers - 1) + max(step // 2, 10) - step
+    widths = [top - step * i for i in range(num_layers - 1)]
+    return [max(w, 4) for w in widths]
+
+
+class DenseGCN(GraphModel):
+    """GCN whose layer *l* consumes ``concat(X-proj, H_1, ..., H_{l-1})``."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        hidden: Sequence[int] | None = None,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        widths = list(hidden) if hidden is not None else shrinking_widths(num_layers)
+        if len(widths) != num_layers - 1:
+            raise ConfigError(
+                f"{num_layers}-layer DenseGCN needs {num_layers - 1} hidden widths, got {len(widths)}"
+            )
+        layers = []
+        in_dim = num_features
+        for width in widths:
+            layers.append(GraphConvolution(in_dim, width, rng))
+            in_dim += width  # dense connectivity grows the input
+        layers.append(GraphConvolution(in_dim, num_classes, rng))
+        self.layers = ModuleList(layers)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, graph: Graph) -> Tensor:
+        adjacency = graph.normalized_adjacency()
+        import scipy.sparse as sp
+
+        features = graph.features
+        if sp.issparse(features):
+            # Dense concatenation requires a dense running state.
+            features = np.asarray(features.todense())
+        state = as_tensor(features)
+        for i, layer in enumerate(self.layers):
+            out = layer(adjacency, self.dropout(state))
+            if i == len(self.layers) - 1:
+                return out
+            out = ops.relu(out)
+            state = ops.concat([state, out], axis=1)
+        raise AssertionError("unreachable")

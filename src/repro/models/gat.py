@@ -1,0 +1,46 @@
+"""Graph Attention Network (Velickovic et al. 2018), single-layer heads.
+
+Multi-head attention in the first layer (concatenated), single head in the
+output layer, ELU activations — the standard transductive configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.models.base import GraphModel
+from repro.nn.layers import Dropout, GraphAttention
+from repro.nn.module import ModuleList
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class GAT(GraphModel):
+    """Two-layer GAT with ``num_heads`` concatenated first-layer heads."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        hidden: int = 8,
+        num_heads: int = 4,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        if num_heads < 1:
+            raise ConfigError(f"num_heads must be >= 1, got {num_heads}")
+        self.heads = ModuleList(
+            GraphAttention(num_features, hidden, rng) for _ in range(num_heads)
+        )
+        self.output = GraphAttention(hidden * num_heads, num_classes, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, graph: Graph) -> Tensor:
+        edge_src, edge_dst = graph.directed_edge_list(self_loops=True)
+        x = self.dropout(graph.features)
+        head_outputs = [ops.elu(head(edge_src, edge_dst, x)) for head in self.heads]
+        h = ops.concat(head_outputs, axis=1) if len(head_outputs) > 1 else head_outputs[0]
+        return self.output(edge_src, edge_dst, self.dropout(h))

@@ -1,0 +1,62 @@
+"""GraphSAGE (Hamilton et al., 2017) with mean aggregation, full-batch.
+
+Each layer concatenates a node's own representation with the mean of its
+neighbors' and applies a linear transform: ``h_v' = ReLU(W [h_v || mean
+neighbors])``.  The paper's related work cites GraphSAGE as the canonical
+spatial GCN; it is included so the model zoo spans both spectral and
+spatial designs.  Mean aggregation over all neighbors is exact (no
+sampling) — appropriate for the citation-scale graphs used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.graph.normalize import row_normalize
+from repro.models.base import GraphModel
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import ModuleList
+from repro.tensor import ops
+from repro.tensor.sparse import spmm
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+class GraphSAGE(GraphModel):
+    """Full-batch GraphSAGE-mean."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        hidden: int = 16,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ConfigError(f"num_layers must be >= 1, got {num_layers}")
+        dims = [num_features] + [hidden] * (num_layers - 1) + [num_classes]
+        # Each layer maps concat(self, neighbor-mean): 2*in -> out.
+        self.layers = ModuleList(
+            Linear(2 * dims[i], dims[i + 1], rng) for i in range(num_layers)
+        )
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, graph: Graph) -> Tensor:
+        # Row-normalized adjacency without self loops = neighbor mean.
+        mean_matrix = row_normalize(graph.adjacency, self_loops=False)
+        h = graph.features
+        if sp.issparse(h):
+            h = np.asarray(h.todense())
+        h = as_tensor(h)
+        for i, layer in enumerate(self.layers):
+            h = self.dropout(h)
+            neighbor_mean = spmm(mean_matrix, h)
+            h = layer(ops.concat([h, neighbor_mean], axis=1))
+            if i < len(self.layers) - 1:
+                h = ops.relu(h)
+        return h

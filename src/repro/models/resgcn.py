@@ -1,0 +1,50 @@
+"""GCN with residual connections (the "ResGCN" deep baseline).
+
+Each hidden layer adds its input back to its output (``H_{l+1} =
+ReLU(Â H_l W) + H_l``), carrying information from the previous layer as in
+Kipf & Welling's residual variant.  A linear input projection aligns the
+feature dimension with the hidden width so the first residual is valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.graph import Graph
+from repro.models.base import GraphModel
+from repro.nn.layers import Dropout, GraphConvolution, Linear
+from repro.nn.module import ModuleList
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class ResGCN(GraphModel):
+    """Deep GCN with identity residuals on every hidden layer."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        hidden: int = 16,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        if num_layers < 2:
+            raise ConfigError(f"ResGCN needs num_layers >= 2, got {num_layers}")
+        self.input_proj = Linear(num_features, hidden, rng)
+        self.layers = ModuleList(
+            GraphConvolution(hidden, hidden, rng) for _ in range(num_layers - 1)
+        )
+        self.output = GraphConvolution(hidden, num_classes, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, graph: Graph) -> Tensor:
+        adjacency = graph.normalized_adjacency()
+        h = self.input_proj(self.dropout(graph.features))
+        for layer in self.layers:
+            out = ops.relu(layer(adjacency, self.dropout(h)))
+            h = ops.add(out, h)
+        return self.output(adjacency, self.dropout(h))

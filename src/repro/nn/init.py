@@ -1,0 +1,33 @@
+"""Weight initialization schemes.
+
+GCNs in the paper (following Kipf & Welling) use Glorot/Xavier
+initialization; all initializers take an explicit ``numpy.random.Generator``
+so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot (Xavier) uniform init for a ``(fan_in, fan_out)`` weight."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def glorot_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot (Xavier) normal init for a ``(fan_in, fan_out)`` weight."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He uniform init, appropriate for ReLU stacks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros array (bias init)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,28 @@
+"""Tape-based reverse-mode autodiff on numpy — the PyTorch stand-in.
+
+Public surface:
+
+* :class:`Tensor` and :func:`as_tensor` — the autodiff array type;
+* :mod:`repro.tensor.ops` — differentiable primitive operations;
+* :mod:`repro.tensor.sparse` — sparse-dense products for graph convolutions;
+* :mod:`repro.tensor.functional` — losses (cross entropy, distillation MSE,
+  edge regularization, KL) and metrics;
+* :mod:`repro.tensor.gradcheck` — finite-difference gradient verification.
+"""
+
+from repro.tensor import functional, ops
+from repro.tensor.gradcheck import check_gradients, numerical_gradient
+from repro.tensor.sparse import sparse_feature_matmul, spmm
+from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "unbroadcast",
+    "ops",
+    "functional",
+    "spmm",
+    "sparse_feature_matmul",
+    "check_gradients",
+    "numerical_gradient",
+]

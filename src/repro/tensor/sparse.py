@@ -1,0 +1,65 @@
+"""Sparse-matrix operations for the autodiff engine.
+
+Graph convolutions multiply a *constant* sparse matrix (the normalized
+adjacency) by a dense activations tensor.  Because the sparse operand is
+constant, only the dense side needs a gradient, which keeps the backward
+pass a single transposed sparse-dense product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Multiply a constant sparse matrix by a dense tensor: ``matrix @ dense``.
+
+    Parameters
+    ----------
+    matrix:
+        A scipy sparse matrix (treated as a constant, no gradient).
+    dense:
+        A 2-D tensor; gradients flow into it via ``matrix.T @ grad``.
+    """
+    dense = as_tensor(dense)
+    if not sp.issparse(matrix):
+        raise TypeError(f"spmm expects a scipy sparse matrix, got {type(matrix).__name__}")
+    if dense.ndim != 2:
+        raise ShapeError(f"spmm expects a 2-D dense operand, got shape {dense.shape}")
+    if matrix.shape[1] != dense.shape[0]:
+        raise ShapeError(f"spmm shape mismatch: {matrix.shape} @ {dense.shape}")
+    csr = matrix.tocsr()
+    out_data = np.asarray(csr @ dense.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(np.asarray(csr.T @ grad))
+
+    return Tensor._make(out_data, (dense,), backward)
+
+
+def sparse_feature_matmul(features: sp.spmatrix, weight: Tensor) -> Tensor:
+    """Multiply constant sparse features by a dense weight: ``features @ weight``.
+
+    This is the first-layer product for datasets with very wide sparse
+    feature matrices (e.g. the NELL one-hot features), where densifying
+    ``features`` would be wasteful.  Gradient w.r.t. ``weight`` is
+    ``features.T @ grad``.
+    """
+    weight = as_tensor(weight)
+    if not sp.issparse(features):
+        raise TypeError(f"expected a scipy sparse matrix, got {type(features).__name__}")
+    if weight.ndim != 2 or features.shape[1] != weight.shape[0]:
+        raise ShapeError(f"shape mismatch: {features.shape} @ {weight.shape}")
+    csr = features.tocsr()
+    out_data = np.asarray(csr @ weight.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(np.asarray(csr.T @ grad))
+
+    return Tensor._make(out_data, (weight,), backward)

@@ -1,0 +1,22 @@
+"""Training loop, metrics, seeding, and result records."""
+
+from repro.training.metrics import confusion_matrix, macro_f1, split_accuracies
+from repro.training.records import EnsembleResult, TrainResult
+from repro.training.seed import make_rng, spawn_rngs
+from repro.training.trainer import Trainer, supervised_loss
+from repro.training.tuning import GridSearchResult, grid_cells, grid_search
+
+__all__ = [
+    "Trainer",
+    "grid_search",
+    "grid_cells",
+    "GridSearchResult",
+    "supervised_loss",
+    "TrainResult",
+    "EnsembleResult",
+    "make_rng",
+    "spawn_rngs",
+    "split_accuracies",
+    "confusion_matrix",
+    "macro_f1",
+]

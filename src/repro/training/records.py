@@ -1,0 +1,76 @@
+"""Result records produced by trainers and experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TrainResult:
+    """Outcome of training one model."""
+
+    train_accuracy: float
+    val_accuracy: float
+    test_accuracy: float
+    epochs_run: int
+    best_epoch: int
+    wall_time_s: float
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"val={self.val_accuracy:.4f} test={self.test_accuracy:.4f} "
+            f"(epochs={self.epochs_run}, best@{self.best_epoch}, {self.wall_time_s:.2f}s)"
+        )
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of training an ensemble method."""
+
+    ensemble_test_accuracy: float
+    ensemble_val_accuracy: float
+    base_test_accuracies: List[float]
+    base_results: List[TrainResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    # Test accuracy of the ensemble restricted to the first t base models,
+    # for t = 1..T (drives the Table 9 efficiency analysis).
+    ensemble_curve: List[float] = field(default_factory=list)
+
+    @property
+    def average_base_accuracy(self) -> float:
+        """Mean test accuracy of the base models (Table 6's "Average" row)."""
+        return float(sum(self.base_test_accuracies) / len(self.base_test_accuracies))
+
+    @property
+    def ensemble_gain(self) -> float:
+        """Ensemble accuracy minus average base accuracy (Table 6's "Gain")."""
+        return self.ensemble_test_accuracy - self.average_base_accuracy
+
+    @property
+    def last_base_test_accuracy(self) -> float:
+        """Test accuracy of the final base model (RDD's "single model")."""
+        return self.base_test_accuracies[-1]
+
+    @property
+    def average_model_time_s(self) -> float:
+        """Mean wall time per base model (Table 9's "average time per model")."""
+        if not self.base_results:
+            return 0.0
+        return float(sum(r.wall_time_s for r in self.base_results) / len(self.base_results))
+
+    def models_to_reach(self, target_accuracy: float) -> Optional[int]:
+        """Smallest ensemble prefix reaching ``target_accuracy`` (None if never)."""
+        for count, acc in enumerate(self.ensemble_curve, start=1):
+            if acc >= target_accuracy:
+                return count
+        return None
+
+    def summary(self) -> str:
+        return (
+            f"ensemble={self.ensemble_test_accuracy:.4f} "
+            f"avg_base={self.average_base_accuracy:.4f} "
+            f"last_base={self.last_base_test_accuracy:.4f} "
+            f"({len(self.base_test_accuracies)} models, {self.wall_time_s:.2f}s)"
+        )

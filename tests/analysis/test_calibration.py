@@ -1,0 +1,97 @@
+"""Tests for calibration metrics (ECE, entropy-correctness AUC)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import calibration_report, entropy_correctness_auc
+from repro.errors import ShapeError
+
+
+def confident_probs(labels, confidence, k=3):
+    n = len(labels)
+    probs = np.full((n, k), (1 - confidence) / (k - 1))
+    probs[np.arange(n), labels] = confidence
+    return probs
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated_low_ece(self):
+        rng = np.random.default_rng(0)
+        n = 5000
+        labels = rng.integers(0, 2, n)
+        # Confidence 0.7 predictions that are right exactly 70% of the time.
+        predicted = labels.copy()
+        flip = rng.random(n) < 0.3
+        predicted[flip] = 1 - predicted[flip]
+        probs = np.zeros((n, 2))
+        probs[np.arange(n), predicted] = 0.7
+        probs[np.arange(n), 1 - predicted] = 0.3
+        report = calibration_report(probs, labels)
+        assert report.expected_calibration_error < 0.05
+
+    def test_overconfident_model_high_ece(self):
+        rng = np.random.default_rng(1)
+        n = 2000
+        labels = rng.integers(0, 2, n)
+        predicted = rng.integers(0, 2, n)  # 50% accuracy
+        probs = np.zeros((n, 2))
+        probs[np.arange(n), predicted] = 0.99
+        probs[np.arange(n), 1 - predicted] = 0.01
+        report = calibration_report(probs, labels)
+        assert report.expected_calibration_error > 0.4
+
+    def test_bin_counts_sum_to_n(self):
+        rng = np.random.default_rng(2)
+        probs = rng.dirichlet(np.ones(3), size=100)
+        labels = rng.integers(0, 3, 100)
+        report = calibration_report(probs, labels, num_bins=7)
+        assert report.bin_counts.sum() == 100
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            calibration_report(np.ones((3, 2)) / 2, np.zeros(4, dtype=int))
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.ones((3, 2)) / 2, np.zeros(3, dtype=int), num_bins=0)
+
+
+class TestEntropyCorrectnessAuc:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 0, 0])
+        # Correct predictions confident, wrong ones unsure.
+        probs = np.array(
+            [[0.99, 0.005, 0.005], [0.98, 0.01, 0.01], [0.4, 0.35, 0.25], [0.34, 0.33, 0.33]]
+        )
+        # Last two rows predict class 0 too but we make them wrong:
+        labels = np.array([0, 0, 1, 2])
+        assert entropy_correctness_auc(probs, labels) == pytest.approx(1.0)
+
+    def test_uninformative_entropy_near_half(self):
+        rng = np.random.default_rng(3)
+        n = 3000
+        labels = rng.integers(0, 2, n)
+        # All predictions equally confident; correctness random.
+        predicted = rng.integers(0, 2, n)
+        probs = np.zeros((n, 2))
+        probs[np.arange(n), predicted] = 0.8
+        probs[np.arange(n), 1 - predicted] = 0.2
+        auc = entropy_correctness_auc(probs, labels)
+        assert auc == pytest.approx(0.5, abs=0.05)
+
+    def test_degenerate_all_correct(self):
+        labels = np.array([0, 1])
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert entropy_correctness_auc(probs, labels) == 1.0
+
+    def test_trained_gcn_entropy_is_informative(self, tiny_graph):
+        # The premise of Algorithm 1: on a real model, low entropy should
+        # correlate with correctness (AUC well above chance).
+        from repro.models import GCN
+        from repro.models.base import softmax_rows
+        from repro.training import Trainer, make_rng
+
+        model = GCN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(0), hidden=8)
+        Trainer(max_epochs=60).fit(model, tiny_graph)
+        probs = softmax_rows(model.predict_logits(tiny_graph))
+        assert entropy_correctness_auc(probs, tiny_graph.labels) > 0.55

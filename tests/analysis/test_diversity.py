@@ -1,0 +1,90 @@
+"""Tests for ensemble diversity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ambiguity_decomposition, pairwise_disagreement, yule_q_statistic
+from repro.errors import ShapeError
+
+
+class TestPairwiseDisagreement:
+    def test_identical_predictors_zero(self):
+        preds = np.array([0, 1, 2, 0])
+        assert pairwise_disagreement([preds, preds.copy(), preds.copy()]) == 0.0
+
+    def test_fully_conflicting_predictors_one(self):
+        a = np.zeros(10, dtype=int)
+        b = np.ones(10, dtype=int)
+        assert pairwise_disagreement([a, b]) == 1.0
+
+    def test_accepts_probability_matrices(self):
+        a = np.array([[0.9, 0.1], [0.1, 0.9]])
+        b = np.array([[0.1, 0.9], [0.1, 0.9]])
+        assert pairwise_disagreement([a, b]) == pytest.approx(0.5)
+
+    def test_needs_two_models(self):
+        with pytest.raises(ShapeError):
+            pairwise_disagreement([np.zeros(3, dtype=int)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100), models=st.integers(2, 5))
+    def test_property_bounded(self, seed, models):
+        rng = np.random.default_rng(seed)
+        preds = [rng.integers(0, 3, 20) for _ in range(models)]
+        value = pairwise_disagreement(preds)
+        assert 0.0 <= value <= 1.0
+
+
+class TestYuleQ:
+    def test_identical_correctness_gives_one(self):
+        labels = np.array([0, 1, 0, 1])
+        preds = np.array([0, 1, 1, 0])  # half right
+        assert yule_q_statistic([preds, preds.copy()], labels) == pytest.approx(1.0)
+
+    def test_complementary_errors_give_negative(self):
+        labels = np.zeros(4, dtype=int)
+        a = np.array([0, 0, 1, 1])  # right on first half
+        b = np.array([1, 1, 0, 0])  # right on second half
+        assert yule_q_statistic([a, b], labels) < 0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 30)
+        preds = [rng.integers(0, 3, 30) for _ in range(4)]
+        value = yule_q_statistic(preds, labels)
+        assert -1.0 <= value <= 1.0
+
+
+class TestAmbiguityDecomposition:
+    def _one_hot(self, labels, k=2):
+        out = np.zeros((len(labels), k))
+        out[np.arange(len(labels)), labels] = 1.0
+        return out
+
+    def test_decomposition_identity(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, 15)
+        probs = [rng.dirichlet(np.ones(3), size=15) for _ in range(4)]
+        result = ambiguity_decomposition(probs, labels)
+        assert result["ensemble_error"] == pytest.approx(
+            result["average_error"] - result["ambiguity"], abs=1e-10
+        )
+
+    def test_identical_models_zero_ambiguity(self):
+        labels = np.array([0, 1])
+        probs = self._one_hot(labels)
+        result = ambiguity_decomposition([probs, probs.copy()], labels)
+        assert result["ambiguity"] == pytest.approx(0.0)
+
+    def test_perfect_models_zero_errors(self):
+        labels = np.array([0, 1, 0])
+        probs = self._one_hot(labels)
+        result = ambiguity_decomposition([probs, probs.copy()], labels)
+        assert result["average_error"] == pytest.approx(0.0)
+        assert result["ensemble_error"] == pytest.approx(0.0)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            ambiguity_decomposition([np.zeros(3)], np.zeros(3, dtype=int))

@@ -1,0 +1,103 @@
+"""Tests for the Bagging, BANs, and Mean Teacher baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaggingEnsemble, BANsEnsemble, MeanTeacher
+from repro.errors import ConfigError
+
+
+class TestBagging:
+    def test_result_structure(self, tiny_graph):
+        result = BaggingEnsemble(num_base_models=3, hidden=8, max_epochs=40).fit(tiny_graph, seed=0)
+        assert len(result.base_test_accuracies) == 3
+        assert len(result.ensemble_curve) == 3
+        assert result.ensemble_curve[-1] == pytest.approx(result.ensemble_test_accuracy)
+
+    def test_learns_task(self, tiny_graph):
+        result = BaggingEnsemble(num_base_models=3, hidden=8, max_epochs=80).fit(tiny_graph, seed=0)
+        assert result.ensemble_test_accuracy > 0.8
+
+    def test_base_models_differ(self, tiny_graph):
+        result = BaggingEnsemble(num_base_models=4, hidden=8, max_epochs=40).fit(tiny_graph, seed=0)
+        # Independent inits: at least two base accuracies differ (diversity).
+        assert len(set(result.base_test_accuracies)) >= 2 or result.average_base_accuracy == 1.0
+
+    def test_deterministic_per_seed(self, tiny_graph):
+        a = BaggingEnsemble(num_base_models=2, hidden=8, max_epochs=30).fit(tiny_graph, seed=5)
+        b = BaggingEnsemble(num_base_models=2, hidden=8, max_epochs=30).fit(tiny_graph, seed=5)
+        assert a.base_test_accuracies == b.base_test_accuracies
+
+    def test_custom_factory(self, tiny_graph):
+        from repro.models import MLP
+
+        ensemble = BaggingEnsemble(
+            num_base_models=2, max_epochs=30,
+            model_factory=lambda g, rng: MLP(g.num_features, g.num_classes, rng, hidden=8),
+        )
+        result = ensemble.fit(tiny_graph, seed=0)
+        assert len(result.base_test_accuracies) == 2
+
+    def test_average_and_gain_properties(self, tiny_graph):
+        result = BaggingEnsemble(num_base_models=3, hidden=8, max_epochs=40).fit(tiny_graph, seed=0)
+        assert result.average_base_accuracy == pytest.approx(
+            float(np.mean(result.base_test_accuracies))
+        )
+        assert result.ensemble_gain == pytest.approx(
+            result.ensemble_test_accuracy - result.average_base_accuracy
+        )
+
+    def test_models_to_reach(self, tiny_graph):
+        result = BaggingEnsemble(num_base_models=3, hidden=8, max_epochs=60).fit(tiny_graph, seed=0)
+        needed = result.models_to_reach(0.5)
+        assert needed is None or 1 <= needed <= 3
+        assert result.models_to_reach(2.0) is None  # unreachable target
+
+
+class TestBANs:
+    def test_result_structure(self, tiny_graph):
+        result = BANsEnsemble(num_base_models=3, hidden=8, max_epochs=40).fit(tiny_graph, seed=0)
+        assert len(result.base_test_accuracies) == 3
+
+    def test_learns_task(self, tiny_graph):
+        result = BANsEnsemble(num_base_models=3, hidden=8, max_epochs=80).fit(tiny_graph, seed=0)
+        assert result.ensemble_test_accuracy > 0.8
+
+    def test_distill_weight_validation(self):
+        with pytest.raises(ConfigError):
+            BANsEnsemble(distill_weight=-1.0)
+
+    def test_zero_distill_weight_reduces_to_independent_chain(self, tiny_graph):
+        # With weight 0, generations are Bagging-like (no KD supervision).
+        result = BANsEnsemble(num_base_models=2, distill_weight=0.0, hidden=8, max_epochs=40).fit(
+            tiny_graph, seed=0
+        )
+        assert len(result.base_test_accuracies) == 2
+
+
+class TestMeanTeacher:
+    def test_returns_metrics(self, tiny_graph):
+        result = MeanTeacher(max_epochs=40, hidden=8).fit(tiny_graph, seed=0)
+        assert 0.0 <= result.test_accuracy <= 1.0
+        assert result.epochs_run <= 40
+
+    def test_learns_task(self, tiny_graph):
+        result = MeanTeacher(max_epochs=80, hidden=8).fit(tiny_graph, seed=0)
+        assert result.test_accuracy > 0.7
+
+    def test_ema_validation(self):
+        with pytest.raises(ConfigError):
+            MeanTeacher(ema_decay=1.0)
+
+    def test_ema_update_moves_teacher_toward_student(self, tiny_graph):
+        from repro.models import GCN
+        from repro.training import make_rng
+
+        method = MeanTeacher(ema_decay=0.5)
+        student = GCN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(0), hidden=4)
+        teacher = GCN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(1), hidden=4)
+        student_w = dict(student.named_parameters())["layers.0.weight"].data.copy()
+        teacher_w_before = dict(teacher.named_parameters())["layers.0.weight"].data.copy()
+        method._ema_update(student, teacher)
+        teacher_w_after = dict(teacher.named_parameters())["layers.0.weight"].data
+        np.testing.assert_allclose(teacher_w_after, 0.5 * teacher_w_before + 0.5 * student_w)

@@ -1,0 +1,75 @@
+"""Tests for Self-Training and Co-Training."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CoTraining, SelfTraining
+from repro.errors import ConfigError
+
+
+class TestSelfTraining:
+    def test_returns_metrics_against_true_labels(self, tiny_graph):
+        result = SelfTraining(rounds=1, additions_per_class=3, max_epochs=40).fit(tiny_graph, seed=0)
+        assert 0.0 <= result.test_accuracy <= 1.0
+        assert result.wall_time_s > 0
+
+    def test_zero_rounds_is_plain_gcn(self, tiny_graph):
+        result = SelfTraining(rounds=0, max_epochs=40).fit(tiny_graph, seed=0)
+        assert result.test_accuracy > 0.6
+
+    def test_learns_task(self, tiny_graph):
+        result = SelfTraining(rounds=1, additions_per_class=4, max_epochs=60).fit(tiny_graph, seed=0)
+        assert result.test_accuracy > 0.7
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SelfTraining(rounds=-1)
+        with pytest.raises(ConfigError):
+            SelfTraining(additions_per_class=0)
+
+    def test_expansion_never_touches_val_or_test(self, tiny_graph):
+        method = SelfTraining(rounds=1, additions_per_class=50, max_epochs=30)
+        # Run the internal expansion directly.
+        from repro.models import GCN
+        from repro.models.base import softmax_rows
+        from repro.training import Trainer, make_rng
+
+        model = GCN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(0), hidden=8)
+        Trainer(max_epochs=30).fit(model, tiny_graph)
+        probs = softmax_rows(model.predict_logits(tiny_graph))
+        pseudo = tiny_graph.labels.copy()
+        expanded = method._expand(tiny_graph, probs, pseudo)
+        assert len(np.intersect1d(expanded, tiny_graph.val_index)) == 0
+        assert len(np.intersect1d(expanded, tiny_graph.test_index)) == 0
+        assert set(tiny_graph.train_index) <= set(expanded)
+
+
+class TestCoTraining:
+    def test_returns_metrics(self, tiny_graph):
+        result = CoTraining(additions_per_class=4, max_epochs=40).fit(tiny_graph, seed=0)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_learns_task(self, tiny_graph):
+        result = CoTraining(additions_per_class=5, max_epochs=60).fit(tiny_graph, seed=0)
+        assert result.test_accuracy > 0.7
+
+    def test_walk_affinity_respects_communities(self, tiny_graph):
+        method = CoTraining()
+        affinity = method._class_affinity(tiny_graph)
+        assert affinity.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+        # Nodes should mostly have the highest affinity toward their own class
+        # on a strongly homophilous graph.
+        agreement = (affinity.argmax(axis=1) == tiny_graph.labels).mean()
+        assert agreement > 0.75
+
+    def test_expansion_respects_protected_sets(self, tiny_graph):
+        method = CoTraining(additions_per_class=100)
+        affinity = method._class_affinity(tiny_graph)
+        pseudo = tiny_graph.labels.copy()
+        expanded = method._expand(tiny_graph, affinity, pseudo)
+        assert len(np.intersect1d(expanded, tiny_graph.val_index)) == 0
+        assert len(np.intersect1d(expanded, tiny_graph.test_index)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CoTraining(additions_per_class=0)

@@ -1,0 +1,108 @@
+"""Tests for the composite RDD student loss (Eq. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.losses import DISTILL_MODES, RDDLossState, rdd_student_loss
+from repro.tensor import Tensor, ops
+from repro.tensor.functional import masked_cross_entropy
+
+
+def make_state(graph, **overrides):
+    n, k = graph.num_nodes, graph.num_classes
+    rng = np.random.default_rng(0)
+    teacher_probs = rng.dirichlet(np.ones(k), size=n)
+    defaults = dict(
+        teacher_embeddings=np.log(teacher_probs + 1e-9),
+        teacher_probs=teacher_probs,
+        distill_index=np.arange(5),
+        edge_src=np.array([0, 1]),
+        edge_dst=np.array([2, 3]),
+        gamma=1.0,
+        beta=1.0,
+    )
+    defaults.update(overrides)
+    return RDDLossState(**defaults)
+
+
+def logits_for(graph, seed=1):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(graph.num_nodes, graph.num_classes)), requires_grad=True)
+
+
+class TestComposition:
+    def test_reduces_to_supervised_when_terms_off(self, tiny_graph):
+        logits = logits_for(tiny_graph)
+        state = make_state(tiny_graph, gamma=0.0, beta=0.0)
+        loss = rdd_student_loss(tiny_graph, logits, state)
+        expected = masked_cross_entropy(
+            ops.log_softmax(Tensor(logits.data), axis=1), tiny_graph.labels, tiny_graph.train_index
+        )
+        assert loss.item() == pytest.approx(expected.item())
+
+    def test_gamma_adds_distillation_term(self, tiny_graph):
+        logits = logits_for(tiny_graph)
+        base = rdd_student_loss(tiny_graph, logits, make_state(tiny_graph, gamma=0.0, beta=0.0))
+        with_l2 = rdd_student_loss(tiny_graph, logits_for(tiny_graph), make_state(tiny_graph, beta=0.0))
+        assert with_l2.item() > base.item()
+
+    def test_beta_adds_edge_term(self, tiny_graph):
+        base = rdd_student_loss(tiny_graph, logits_for(tiny_graph), make_state(tiny_graph, gamma=0.0, beta=0.0))
+        with_reg = rdd_student_loss(tiny_graph, logits_for(tiny_graph), make_state(tiny_graph, gamma=0.0, beta=5.0))
+        assert with_reg.item() > base.item()
+
+    def test_empty_distill_index_skips_l2(self, tiny_graph):
+        logits = logits_for(tiny_graph)
+        state = make_state(tiny_graph, distill_index=np.empty(0, dtype=np.int64), beta=0.0)
+        base = make_state(tiny_graph, gamma=0.0, beta=0.0)
+        assert rdd_student_loss(tiny_graph, logits, state).item() == pytest.approx(
+            rdd_student_loss(tiny_graph, logits_for(tiny_graph), base).item()
+        )
+
+    def test_empty_edges_skip_reg(self, tiny_graph):
+        empty = np.empty(0, dtype=np.int64)
+        state = make_state(tiny_graph, gamma=0.0, edge_src=empty, edge_dst=empty)
+        base = make_state(tiny_graph, gamma=0.0, beta=0.0)
+        assert rdd_student_loss(tiny_graph, logits_for(tiny_graph), state).item() == pytest.approx(
+            rdd_student_loss(tiny_graph, logits_for(tiny_graph), base).item()
+        )
+
+    def test_loss_is_differentiable(self, tiny_graph):
+        logits = logits_for(tiny_graph)
+        loss = rdd_student_loss(tiny_graph, logits, make_state(tiny_graph))
+        loss.backward()
+        assert logits.grad is not None
+        assert np.isfinite(logits.grad).all()
+
+
+class TestDistillModes:
+    @pytest.mark.parametrize("mode", DISTILL_MODES)
+    def test_all_modes_produce_finite_positive_terms(self, tiny_graph, mode):
+        logits = logits_for(tiny_graph)
+        state = make_state(tiny_graph, distill_mode=mode, beta=0.0)
+        loss = rdd_student_loss(tiny_graph, logits, state)
+        assert np.isfinite(loss.item())
+
+    @pytest.mark.parametrize("mode", DISTILL_MODES)
+    def test_all_modes_backprop(self, tiny_graph, mode):
+        logits = logits_for(tiny_graph)
+        state = make_state(tiny_graph, distill_mode=mode)
+        rdd_student_loss(tiny_graph, logits, state).backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_unknown_mode_raises(self, tiny_graph):
+        state = make_state(tiny_graph, distill_mode="cosine")
+        with pytest.raises(ValueError):
+            rdd_student_loss(tiny_graph, logits_for(tiny_graph), state)
+
+    def test_prob_mse_zero_when_student_matches_teacher(self, tiny_graph):
+        n, k = tiny_graph.num_nodes, tiny_graph.num_classes
+        teacher_probs = np.full((n, k), 1.0 / k)
+        logits = Tensor(np.zeros((n, k)), requires_grad=True)  # softmax → uniform
+        state = make_state(
+            tiny_graph, teacher_probs=teacher_probs, beta=0.0, distill_mode="prob_mse"
+        )
+        base = make_state(tiny_graph, gamma=0.0, beta=0.0)
+        assert rdd_student_loss(tiny_graph, logits, state).item() == pytest.approx(
+            rdd_student_loss(tiny_graph, Tensor(np.zeros((n, k))), base).item()
+        )

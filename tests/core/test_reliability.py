@@ -1,0 +1,234 @@
+"""Tests for node and edge reliability (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReliabilitySets, edge_reliability, entropy_threshold_mask, node_reliability
+from repro.errors import ConfigError, ShapeError
+
+
+def probs_from_confidence(confidences, predictions, k=3):
+    """Rows with given argmax class and max-probability."""
+    n = len(confidences)
+    probs = np.full((n, k), 0.0)
+    for i, (c, p) in enumerate(zip(predictions, confidences)):
+        probs[i] = (1.0 - p) / (k - 1)
+        probs[i, c] = p
+    return probs
+
+
+class TestEntropyThresholdMask:
+    def test_lowest_selection(self):
+        entropies = np.array([0.1, 0.9, 0.5, 0.3])
+        mask = entropy_threshold_mask(entropies, 50.0, lowest=True)
+        np.testing.assert_array_equal(mask, [True, False, False, True])
+
+    def test_highest_selection(self):
+        entropies = np.array([0.1, 0.9, 0.5, 0.3])
+        mask = entropy_threshold_mask(entropies, 25.0, lowest=False)
+        np.testing.assert_array_equal(mask, [False, True, False, False])
+
+    def test_zero_percent_selects_nothing(self):
+        mask = entropy_threshold_mask(np.ones(5), 0.0, lowest=True)
+        assert not mask.any()
+
+    def test_hundred_percent_selects_all(self):
+        mask = entropy_threshold_mask(np.ones(5), 100.0, lowest=True)
+        assert mask.all()
+
+    def test_invalid_percent_raises(self):
+        with pytest.raises(ConfigError):
+            entropy_threshold_mask(np.ones(3), 150.0, lowest=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        n=st.integers(1, 50),
+        percent=st.floats(0.0, 100.0),
+    )
+    def test_property_count_matches_percent(self, seed, n, percent):
+        entropies = np.random.default_rng(seed).random(n)
+        mask = entropy_threshold_mask(entropies, percent, lowest=True)
+        assert mask.sum() == int(round(n * percent / 100.0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100), p_small=st.floats(0, 50), p_extra=st.floats(0, 50))
+    def test_property_monotone_in_percent(self, seed, p_small, p_extra):
+        # The selected set must grow monotonically with the percentile.
+        entropies = np.random.default_rng(seed).random(40)
+        small = entropy_threshold_mask(entropies, p_small, lowest=True)
+        large = entropy_threshold_mask(entropies, min(p_small + p_extra, 100.0), lowest=True)
+        assert np.all(large[small])  # small ⊆ large
+
+
+class TestNodeReliabilityLabeled:
+    def test_correct_teacher_prediction_is_reliable(self):
+        labels = np.array([0, 1, 2])
+        teacher = probs_from_confidence([0.9, 0.9, 0.9], [0, 1, 0])  # node 2 wrong
+        student = teacher.copy()
+        sets = node_reliability(teacher, student, labels, np.arange(3), p=100.0)
+        assert sets.reliable_mask[0]
+        assert sets.reliable_mask[1]
+        assert not sets.reliable_mask[2]
+
+    def test_labeled_nodes_ignore_student_agreement(self):
+        labels = np.array([0])
+        teacher = probs_from_confidence([0.9], [0])
+        student = probs_from_confidence([0.9], [1])  # disagrees
+        sets = node_reliability(teacher, student, labels, np.array([0]), p=100.0)
+        assert sets.reliable_mask[0]
+
+    def test_labeled_check_variants_disagree_when_models_do(self):
+        # §3.1 prose checks the teacher; Alg. 1 line 4 checks the student.
+        labels = np.array([0])
+        teacher = probs_from_confidence([0.9], [0])   # teacher correct
+        student = probs_from_confidence([0.9], [1])   # student wrong
+        by_teacher = node_reliability(
+            teacher, student, labels, np.array([0]), p=100.0, labeled_check="teacher"
+        )
+        by_student = node_reliability(
+            teacher, student, labels, np.array([0]), p=100.0, labeled_check="student"
+        )
+        assert by_teacher.reliable_mask[0]
+        assert not by_student.reliable_mask[0]
+
+    def test_invalid_labeled_check_rejected(self):
+        from repro.errors import ConfigError
+
+        labels = np.array([0])
+        probs = probs_from_confidence([0.9], [0])
+        with pytest.raises(ConfigError):
+            node_reliability(probs, probs, labels, np.array([0]), labeled_check="oracle")
+
+
+class TestNodeReliabilityUnlabeled:
+    def test_low_entropy_and_agreement_required(self):
+        labels = np.zeros(4, dtype=np.int64)
+        train = np.array([], dtype=np.int64)
+        # Nodes: 0 confident+agree, 1 confident+disagree, 2 unsure+agree, 3 unsure+disagree.
+        teacher = probs_from_confidence([0.95, 0.95, 0.40, 0.40], [0, 0, 1, 1])
+        student = probs_from_confidence([0.9, 0.9, 0.9, 0.9], [0, 2, 1, 2])
+        sets = node_reliability(teacher, student, labels, train, p=50.0)
+        assert sets.reliable_mask[0]
+        assert not sets.reliable_mask[1]  # disagreement kills it
+        assert not sets.reliable_mask[2]  # entropy too high (not in lowest 50%)
+        assert not sets.reliable_mask[3]
+
+    def test_p_controls_reliable_count(self):
+        rng = np.random.default_rng(0)
+        n = 100
+        labels = np.zeros(n, dtype=np.int64)
+        probs = rng.dirichlet(np.ones(3), size=n)
+        sets_small = node_reliability(probs, probs, labels, np.array([], dtype=np.int64), p=20.0)
+        sets_large = node_reliability(probs, probs, labels, np.array([], dtype=np.int64), p=80.0)
+        assert sets_small.num_reliable < sets_large.num_reliable
+        # Monotonicity: the reliable set grows with p.
+        assert np.all(sets_large.reliable_mask[sets_small.reliable_mask])
+
+    def test_distill_set_is_subset_of_reliable(self):
+        rng = np.random.default_rng(1)
+        n = 60
+        labels = rng.integers(0, 3, n)
+        teacher = rng.dirichlet(np.ones(3), size=n)
+        student = rng.dirichlet(np.ones(3), size=n)
+        sets = node_reliability(teacher, student, labels, np.arange(10), p=40.0)
+        assert np.all(sets.reliable_mask[sets.distill_mask])
+
+    def test_distill_set_targets_uncertain_students(self):
+        labels = np.zeros(4, dtype=np.int64)
+        train = np.array([], dtype=np.int64)
+        # Teacher entropy strictly increasing: lowest-50% = nodes 0, 1.
+        teacher = probs_from_confidence([0.99, 0.98, 0.97, 0.96], [0, 0, 0, 0])
+        # Student agrees everywhere; unsure on nodes 1 and 3.
+        student = probs_from_confidence([0.99, 0.40, 0.99, 0.40], [0, 0, 0, 0])
+        sets = node_reliability(teacher, student, labels, train, p=50.0)
+        np.testing.assert_array_equal(sets.reliable_mask, [True, True, False, False])
+        # V_b = reliable ∩ (student-entropy top 50% = nodes 1, 3) = {1}.
+        np.testing.assert_array_equal(sets.distill_mask, [False, True, False, False])
+
+    def test_wnr_ablation_marks_everything_reliable(self):
+        rng = np.random.default_rng(2)
+        teacher = rng.dirichlet(np.ones(3), size=20)
+        student = rng.dirichlet(np.ones(3), size=20)
+        sets = node_reliability(teacher, student, np.zeros(20, dtype=np.int64),
+                                np.array([], dtype=np.int64), p=40.0, use_reliability=False)
+        assert sets.reliable_mask.all()
+        # V_b still selects the student's most-uncertain 40%.
+        assert sets.num_distill == 8
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            node_reliability(np.ones((3, 2)) / 2, np.ones((4, 2)) / 2,
+                             np.zeros(3, dtype=np.int64), np.array([0]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 200), p=st.floats(0, 100))
+    def test_property_invariants(self, seed, p):
+        rng = np.random.default_rng(seed)
+        n, k = 40, 4
+        teacher = rng.dirichlet(np.ones(k), size=n)
+        student = rng.dirichlet(np.ones(k), size=n)
+        labels = rng.integers(0, k, n)
+        train = rng.choice(n, size=8, replace=False)
+        sets = node_reliability(teacher, student, labels, train, p=p)
+        # V_b ⊆ V_r always.
+        assert np.all(sets.reliable_mask[sets.distill_mask])
+        # Masks have the right shape and dtype.
+        assert sets.reliable_mask.shape == (n,)
+        assert sets.reliable_mask.dtype == bool
+        assert sets.num_distill <= int(round(n * p / 100.0))
+
+
+class TestEdgeReliability:
+    def test_requires_both_endpoints_reliable(self):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 3])
+        reliable = np.array([True, True, False, True])
+        pred = np.zeros(4, dtype=np.int64)
+        r_src, r_dst = edge_reliability(src, dst, reliable, pred)
+        np.testing.assert_array_equal(r_src, [0])
+        np.testing.assert_array_equal(r_dst, [1])
+
+    def test_requires_same_predicted_class(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        reliable = np.ones(3, dtype=bool)
+        pred = np.array([0, 0, 1])
+        r_src, r_dst = edge_reliability(src, dst, reliable, pred)
+        np.testing.assert_array_equal(r_src, [0])
+
+    def test_wer_ablation_keeps_same_class_edges_only(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        reliable = np.zeros(3, dtype=bool)  # nobody reliable
+        pred = np.array([0, 0, 1])
+        r_src, _ = edge_reliability(src, dst, reliable, pred, use_reliability=False)
+        np.testing.assert_array_equal(r_src, [0])
+
+    def test_empty_edges(self):
+        empty = np.array([], dtype=np.int64)
+        r_src, r_dst = edge_reliability(empty, empty, np.ones(3, dtype=bool), np.zeros(3, dtype=np.int64))
+        assert len(r_src) == 0
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(ShapeError):
+            edge_reliability(np.array([0]), np.array([1, 2]), np.ones(3, dtype=bool),
+                             np.zeros(3, dtype=np.int64))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_reliable_edges_subset_of_input(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 20, 40
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        reliable = rng.random(n) < 0.5
+        pred = rng.integers(0, 3, n)
+        r_src, r_dst = edge_reliability(src, dst, reliable, pred)
+        original = set(zip(src.tolist(), dst.tolist()))
+        assert set(zip(r_src.tolist(), r_dst.tolist())) <= original
+        # Every surviving edge satisfies both conditions.
+        assert np.all(reliable[r_src] & reliable[r_dst])
+        assert np.all(pred[r_src] == pred[r_dst])

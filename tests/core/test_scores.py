@@ -1,0 +1,80 @@
+"""Tests for the pluggable reliability uncertainty scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scores import RELIABILITY_SCORES, uncertainty_score
+from repro.core import RDDConfig, node_reliability, train_rdd
+from repro.errors import ConfigError
+
+
+def confident(p, k=3):
+    row = np.full(k, (1 - p) / (k - 1))
+    row[0] = p
+    return row
+
+
+class TestUncertaintyScore:
+    @pytest.mark.parametrize("score", RELIABILITY_SCORES)
+    def test_confident_rows_score_lower(self, score):
+        probs = np.stack([confident(0.95), confident(0.4)])
+        values = uncertainty_score(probs, score)
+        assert values[0] < values[1]
+
+    def test_entropy_matches_functional(self):
+        from repro.tensor.functional import entropy
+
+        probs = np.random.default_rng(0).dirichlet(np.ones(4), size=10)
+        np.testing.assert_allclose(uncertainty_score(probs, "entropy"), entropy(probs))
+
+    def test_margin_values(self):
+        probs = np.array([[0.7, 0.2, 0.1]])
+        assert uncertainty_score(probs, "margin")[0] == pytest.approx(1.0 - 0.5)
+
+    def test_confidence_values(self):
+        probs = np.array([[0.7, 0.2, 0.1]])
+        assert uncertainty_score(probs, "confidence")[0] == pytest.approx(0.3)
+
+    def test_unknown_score_raises(self):
+        with pytest.raises(ConfigError):
+            uncertainty_score(np.ones((2, 2)) / 2, "variance")
+
+    def test_margin_needs_two_classes(self):
+        with pytest.raises(ConfigError):
+            uncertainty_score(np.ones((2, 1)), "margin")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigError):
+            uncertainty_score(np.ones(3), "entropy")
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_scores_nonnegative(self, seed):
+        probs = np.random.default_rng(seed).dirichlet(np.ones(4), size=15)
+        for score in RELIABILITY_SCORES:
+            assert (uncertainty_score(probs, score) >= -1e-12).all()
+
+
+class TestScoreIntegration:
+    @pytest.mark.parametrize("score", RELIABILITY_SCORES)
+    def test_node_reliability_accepts_score(self, score):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(3), size=30)
+        sets = node_reliability(
+            probs, probs, np.zeros(30, dtype=np.int64), np.arange(5), p=40.0, score=score
+        )
+        assert np.all(sets.reliable_mask[sets.distill_mask])
+
+    def test_rdd_config_validates_score(self):
+        with pytest.raises(ConfigError):
+            RDDConfig(reliability_score="variance")
+
+    @pytest.mark.parametrize("score", RELIABILITY_SCORES)
+    def test_rdd_trains_with_every_score(self, tiny_graph, score):
+        config = RDDConfig(
+            num_base_models=2, max_epochs=20, hidden=8, reliability_score=score
+        )
+        result = train_rdd(tiny_graph, config, seed=0)
+        assert 0.0 <= result.ensemble_test_accuracy <= 1.0

@@ -1,0 +1,106 @@
+"""Tests for the calibrated citation-network stand-ins."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import (
+    CITESEER,
+    CORA,
+    NELL,
+    PUBMED,
+    available_datasets,
+    citeseer_like,
+    cora_like,
+    load_dataset,
+    nell_like,
+    register_dataset,
+)
+from repro.errors import DatasetError
+from repro.graph.stats import edge_homophily, summarize
+
+
+class TestSpecs:
+    def test_published_statistics(self):
+        assert (CORA.num_nodes, CORA.num_features, CORA.num_classes) == (2708, 1433, 7)
+        assert (CITESEER.num_nodes, CITESEER.num_classes) == (3327, 6)
+        assert (PUBMED.num_nodes, PUBMED.num_classes) == (19717, 3)
+        assert (NELL.num_nodes, NELL.num_classes) == (65755, 210)
+
+    def test_scaled_shrinks_everything(self):
+        small = CORA.scaled(0.2)
+        assert small.num_nodes < CORA.num_nodes
+        assert small.num_edges < CORA.num_edges
+        assert small.num_val < CORA.num_val
+        assert small.train_per_class < CORA.train_per_class
+        assert small.num_classes == CORA.num_classes
+
+    def test_scale_one_is_identity(self):
+        assert CORA.scaled(1.0) is CORA
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(DatasetError):
+            CORA.scaled(0.0)
+        with pytest.raises(DatasetError):
+            CORA.scaled(1.5)
+
+    def test_scaled_split_fits(self):
+        small = CITESEER.scaled(0.1)
+        needed = small.train_per_class * small.num_classes + small.num_val + small.num_test
+        assert needed < small.num_nodes
+
+
+class TestGeneratedGraphs:
+    def test_cora_like_structure(self):
+        g = cora_like(seed=0, scale=0.15)
+        assert g.num_classes == 7
+        assert g.name == "cora"
+        stats = summarize(g)
+        assert stats.edge_homophily == pytest.approx(CORA.homophily, abs=0.12)
+
+    def test_deterministic_per_seed(self):
+        a = cora_like(seed=5, scale=0.1)
+        b = cora_like(seed=5, scale=0.1)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.train_index, b.train_index)
+
+    def test_different_seeds_differ(self):
+        a = cora_like(seed=1, scale=0.1)
+        b = cora_like(seed=2, scale=0.1)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_features_row_normalized(self):
+        g = citeseer_like(seed=0, scale=0.1)
+        sums = np.asarray(g.features.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, np.ones_like(sums))
+
+    def test_feature_noise_parameter(self):
+        clean = cora_like(seed=0, scale=0.1, feature_noise=0.0)
+        noisy = cora_like(seed=0, scale=0.1, feature_noise=0.5)
+        # Same structure, different features.
+        assert (clean.adjacency != noisy.adjacency).nnz == 0
+        assert (clean.features != noisy.features).nnz > 0
+
+    def test_nell_identity_features(self):
+        g = nell_like(seed=0, scale=0.05)
+        assert sp.issparse(g.features)
+        assert g.features.shape[1] == g.num_nodes  # one-hot per node
+        assert g.num_classes == 210
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_datasets()) == {"cora", "citeseer", "pubmed", "nell"}
+
+    def test_load_by_name_case_insensitive(self):
+        g = load_dataset("CORA", seed=0, scale=0.1)
+        assert g.name == "cora"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imagenet")
+
+    def test_register_custom(self, tiny_graph):
+        register_dataset("custom-test", lambda **kw: tiny_graph)
+        assert load_dataset("custom-test") is tiny_graph

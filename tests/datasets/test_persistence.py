@@ -1,0 +1,57 @@
+"""Tests for dataset save/load."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import cora_like, load_graph, save_graph
+from repro.errors import DatasetError
+
+
+class TestGraphPersistence:
+    def test_roundtrip_dense_features(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph(tiny_graph, path)
+        loaded = load_graph(path)
+        assert loaded.name == tiny_graph.name
+        assert (loaded.adjacency != tiny_graph.adjacency).nnz == 0
+        np.testing.assert_allclose(np.asarray(loaded.features), np.asarray(tiny_graph.features))
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+        np.testing.assert_array_equal(loaded.train_index, tiny_graph.train_index)
+        np.testing.assert_array_equal(loaded.val_index, tiny_graph.val_index)
+        np.testing.assert_array_equal(loaded.test_index, tiny_graph.test_index)
+
+    def test_roundtrip_sparse_features(self, tmp_path):
+        graph = cora_like(seed=0, scale=0.1)
+        assert sp.issparse(graph.features)
+        path = tmp_path / "cora.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert sp.issparse(loaded.features)
+        assert (loaded.features != graph.features).nnz == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_graph(tmp_path / "nope.npz")
+
+    def test_loaded_graph_trains_identically(self, tmp_path):
+        from repro.models import GCN
+        from repro.training import Trainer, make_rng
+
+        graph = cora_like(seed=1, scale=0.1)
+        path = tmp_path / "pin.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+
+        a = Trainer(max_epochs=20).fit(
+            GCN(graph.num_features, graph.num_classes, make_rng(0), hidden=8), graph
+        )
+        b = Trainer(max_epochs=20).fit(
+            GCN(loaded.num_features, loaded.num_classes, make_rng(0), hidden=8), loaded
+        )
+        assert a.test_accuracy == b.test_accuracy
+
+    def test_creates_parent_directories(self, tiny_graph, tmp_path):
+        path = tmp_path / "nested" / "dir" / "g.npz"
+        save_graph(tiny_graph, path)
+        assert path.exists()

@@ -1,0 +1,114 @@
+"""Tests for the DC-SBM generator, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.sbm import generate_dcsbm_graph, sample_block_sizes, sample_dcsbm_edges
+from repro.errors import DatasetError
+from repro.graph.stats import edge_homophily
+
+
+class TestBlockSizes:
+    def test_exact_total(self, rng):
+        sizes = sample_block_sizes(100, 7, rng)
+        assert sizes.sum() == 100
+
+    def test_equal_when_no_skew(self, rng):
+        sizes = sample_block_sizes(100, 4, rng, skew=0.0)
+        np.testing.assert_array_equal(sizes, [25, 25, 25, 25])
+
+    def test_min_size_respected(self, rng):
+        sizes = sample_block_sizes(100, 5, rng, skew=2.0, min_size=10)
+        assert sizes.min() >= 10
+        assert sizes.sum() == 100
+
+    def test_too_few_nodes_raises(self, rng):
+        with pytest.raises(DatasetError):
+            sample_block_sizes(10, 5, rng, min_size=5)
+
+    def test_single_class_raises(self, rng):
+        with pytest.raises(DatasetError):
+            sample_block_sizes(10, 1, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_nodes=st.integers(30, 300),
+        num_classes=st.integers(2, 8),
+        skew=st.floats(0.0, 2.0),
+        seed=st.integers(0, 100),
+    )
+    def test_property_total_and_positivity(self, num_nodes, num_classes, skew, seed):
+        rng = np.random.default_rng(seed)
+        sizes = sample_block_sizes(num_nodes, num_classes, rng, skew=skew, min_size=2)
+        assert sizes.sum() == num_nodes
+        assert sizes.min() >= 2
+        assert len(sizes) == num_classes
+
+
+class TestEdgeSampling:
+    def test_homophily_controls_within_class_rate(self, rng):
+        labels = np.repeat([0, 1, 2], 100)
+        high = sample_dcsbm_edges(labels, 2000, homophily=0.9, rng=np.random.default_rng(0))
+        low = sample_dcsbm_edges(labels, 2000, homophily=0.2, rng=np.random.default_rng(0))
+        rate_high = (labels[high[:, 0]] == labels[high[:, 1]]).mean()
+        rate_low = (labels[low[:, 0]] == labels[low[:, 1]]).mean()
+        assert rate_high > 0.8
+        assert rate_low < 0.4
+
+    def test_invalid_homophily_raises(self, rng):
+        with pytest.raises(DatasetError):
+            sample_dcsbm_edges(np.array([0, 1]), 10, homophily=1.5, rng=rng)
+
+    def test_invalid_target_raises(self, rng):
+        with pytest.raises(DatasetError):
+            sample_dcsbm_edges(np.array([0, 1]), 0, homophily=0.5, rng=rng)
+
+    def test_empty_class_raises(self, rng):
+        labels = np.array([0, 0, 2, 2])  # class 1 empty
+        with pytest.raises(DatasetError):
+            sample_dcsbm_edges(labels, 10, homophily=0.5, rng=rng)
+
+
+class TestGenerateGraph:
+    def test_no_isolated_nodes(self):
+        rng = np.random.default_rng(3)
+        adjacency, labels = generate_dcsbm_graph(120, 4, 200, 0.8, rng)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        assert degrees.min() >= 1
+
+    def test_adjacency_is_symmetric_no_loops(self):
+        rng = np.random.default_rng(4)
+        adjacency, _ = generate_dcsbm_graph(80, 3, 150, 0.7, rng)
+        assert (abs(adjacency - adjacency.T) > 0).nnz == 0
+        assert adjacency.diagonal().sum() == 0
+
+    def test_homophily_close_to_target(self):
+        rng = np.random.default_rng(5)
+        adjacency, labels = generate_dcsbm_graph(400, 4, 1500, 0.8, rng)
+        measured = edge_homophily(adjacency, labels)
+        assert measured == pytest.approx(0.8, abs=0.08)
+
+    def test_edge_count_near_target(self):
+        rng = np.random.default_rng(6)
+        adjacency, _ = generate_dcsbm_graph(300, 3, 800, 0.75, rng)
+        assert adjacency.nnz // 2 == pytest.approx(800, rel=0.25)
+
+    def test_heavy_tailed_degrees(self):
+        rng = np.random.default_rng(7)
+        adjacency, _ = generate_dcsbm_graph(500, 3, 2000, 0.8, rng)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        # Degree-corrected sampling produces hubs: max degree far above mean.
+        assert degrees.max() > 3 * degrees.mean()
+
+    def test_min_class_size(self):
+        rng = np.random.default_rng(8)
+        _, labels = generate_dcsbm_graph(200, 5, 400, 0.8, rng, min_class_size=15)
+        assert np.bincount(labels).min() >= 15
+
+    def test_deterministic_given_rng_seed(self):
+        a1, l1 = generate_dcsbm_graph(100, 3, 200, 0.8, np.random.default_rng(9))
+        a2, l2 = generate_dcsbm_graph(100, 3, 200, 0.8, np.random.default_rng(9))
+        assert (a1 != a2).nnz == 0
+        np.testing.assert_array_equal(l1, l2)

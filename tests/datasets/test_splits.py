@@ -1,0 +1,89 @@
+"""Tests for Planetoid-style splits and label sweeps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.splits import max_train_per_class, planetoid_split, resample_train_index
+from repro.errors import DatasetError
+
+
+def labels_for(classes=4, per_class=50):
+    return np.repeat(np.arange(classes), per_class)
+
+
+class TestPlanetoidSplit:
+    def test_class_balanced_training(self, rng):
+        labels = labels_for()
+        train, _, _ = planetoid_split(labels, rng, train_per_class=5, num_val=20, num_test=40)
+        counts = np.bincount(labels[train])
+        np.testing.assert_array_equal(counts, [5, 5, 5, 5])
+
+    def test_disjoint_sets(self, rng):
+        labels = labels_for()
+        train, val, test = planetoid_split(labels, rng, train_per_class=5, num_val=20, num_test=40)
+        assert len(np.intersect1d(train, val)) == 0
+        assert len(np.intersect1d(train, test)) == 0
+        assert len(np.intersect1d(val, test)) == 0
+
+    def test_sizes(self, rng):
+        labels = labels_for()
+        train, val, test = planetoid_split(labels, rng, train_per_class=5, num_val=20, num_test=40)
+        assert (len(train), len(val), len(test)) == (20, 20, 40)
+
+    def test_sorted_outputs(self, rng):
+        labels = labels_for()
+        train, val, test = planetoid_split(labels, rng, train_per_class=5, num_val=10, num_test=10)
+        for idx in (train, val, test):
+            assert np.all(np.diff(idx) > 0)
+
+    def test_class_too_small_raises(self, rng):
+        labels = np.array([0] * 3 + [1] * 50)
+        with pytest.raises(DatasetError):
+            planetoid_split(labels, rng, train_per_class=5, num_val=5, num_test=5)
+
+    def test_not_enough_for_val_test_raises(self, rng):
+        labels = labels_for(classes=2, per_class=10)
+        with pytest.raises(DatasetError):
+            planetoid_split(labels, rng, train_per_class=5, num_val=50, num_test=50)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100), per=st.integers(1, 8))
+    def test_property_balance_and_disjointness(self, seed, per):
+        labels = labels_for(classes=3, per_class=40)
+        rng = np.random.default_rng(seed)
+        train, val, test = planetoid_split(labels, rng, train_per_class=per, num_val=15, num_test=30)
+        assert np.bincount(labels[train]).tolist() == [per, per, per]
+        union = np.concatenate([train, val, test])
+        assert len(np.unique(union)) == len(union)
+
+
+class TestResampleTrainIndex:
+    def test_avoids_forbidden(self, rng):
+        labels = labels_for()
+        forbidden = np.arange(0, 25)  # half of class 0
+        train = resample_train_index(labels, rng, 5, forbidden)
+        assert len(np.intersect1d(train, forbidden)) == 0
+
+    def test_balanced(self, rng):
+        labels = labels_for()
+        train = resample_train_index(labels, rng, 7, np.array([], dtype=np.int64))
+        np.testing.assert_array_equal(np.bincount(labels[train]), [7, 7, 7, 7])
+
+    def test_exhausted_class_raises(self, rng):
+        labels = labels_for(classes=2, per_class=10)
+        forbidden = np.flatnonzero(labels == 0)[:8]
+        with pytest.raises(DatasetError):
+            resample_train_index(labels, rng, 5, forbidden)
+
+
+class TestMaxTrainPerClass:
+    def test_without_forbidden(self):
+        labels = np.array([0] * 10 + [1] * 4)
+        assert max_train_per_class(labels, np.array([], dtype=np.int64)) == 4
+
+    def test_with_forbidden(self):
+        labels = np.array([0] * 10 + [1] * 4)
+        forbidden = np.flatnonzero(labels == 1)[:2]
+        assert max_train_per_class(labels, forbidden) == 2

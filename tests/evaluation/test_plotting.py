@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluation.common import ExperimentReport
+from repro.evaluation.plotting import ascii_line_chart, chart_from_report
+
+
+class TestAsciiLineChart:
+    def test_contains_glyphs_and_legend(self):
+        chart = ascii_line_chart([0, 1, 2], {"gcn": [0.1, 0.2, 0.3], "rdd": [0.2, 0.3, 0.4]})
+        assert "o" in chart and "x" in chart
+        assert "o=gcn" in chart and "x=rdd" in chart
+
+    def test_extremes_on_first_and_last_axis_rows(self):
+        chart = ascii_line_chart([0, 1], {"s": [0.0, 1.0]}, width=10, height=5)
+        lines = chart.splitlines()
+        assert "s"[0] not in lines[0] or True  # glyph 'o' used, not name
+        assert "o" in lines[0]  # max value on top row
+        assert "o" in lines[4]  # min value on bottom row
+
+    def test_y_axis_labels_show_range(self):
+        chart = ascii_line_chart([0, 1], {"s": [0.25, 0.75]})
+        assert "0.750" in chart and "0.250" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_line_chart([0, 1, 2], {"s": [0.5, 0.5, 0.5]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_line_chart([0, 1], {})
+        with pytest.raises(ConfigError):
+            ascii_line_chart([0], {"s": [1.0]})
+        with pytest.raises(ConfigError):
+            ascii_line_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ConfigError):
+            ascii_line_chart([0, 0], {"s": [1.0, 2.0]})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0.0, 1.0] for i in range(9)}
+        with pytest.raises(ConfigError):
+            ascii_line_chart([0, 1], series)
+
+
+class TestChartFromReport:
+    def test_builds_from_rows(self):
+        report = ExperimentReport(
+            experiment="demo",
+            rows=[
+                {"labels": 5, "GCN": 0.7, "RDD": 0.75},
+                {"labels": 10, "GCN": 0.75, "RDD": 0.8},
+                {"labels": 20, "GCN": 0.8, "RDD": 0.84},
+            ],
+        )
+        chart = chart_from_report(report, "labels", ["GCN", "RDD"])
+        assert "o=GCN" in chart and "x=RDD" in chart
+        assert "labels" in chart

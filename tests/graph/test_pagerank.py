@@ -1,0 +1,92 @@
+"""Tests for PageRank against networkx and analytic cases."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph import pagerank, personalized_propagation_matrix
+from repro.graph.graph import build_adjacency
+
+
+class TestPagerank:
+    def test_sums_to_one(self):
+        adj = build_adjacency(5, np.array([[0, 1], [1, 2], [2, 3], [3, 4]]))
+        assert pagerank(adj).sum() == pytest.approx(1.0)
+
+    def test_uniform_on_symmetric_cycle(self):
+        n = 6
+        edges = np.array([[i, (i + 1) % n] for i in range(n)])
+        adj = build_adjacency(n, edges)
+        np.testing.assert_allclose(pagerank(adj), np.full(n, 1 / n), atol=1e-8)
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(0)
+        n = 30
+        edges = rng.integers(0, n, size=(80, 2))
+        adj = build_adjacency(n, edges)
+        ours = pagerank(adj, damping=0.85)
+        graph = nx.from_scipy_sparse_array(adj)
+        theirs = nx.pagerank(graph, alpha=0.85, tol=1e-12)
+        expected = np.array([theirs[i] for i in range(n)])
+        np.testing.assert_allclose(ours, expected, atol=1e-6)
+
+    def test_hub_gets_highest_score(self):
+        # Star graph: center connected to all leaves.
+        edges = np.array([[0, i] for i in range(1, 8)])
+        adj = build_adjacency(8, edges)
+        scores = pagerank(adj)
+        assert scores.argmax() == 0
+
+    def test_dangling_nodes_handled(self):
+        # Directed chain ending in a sink (dangling) node.
+        adj = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float))
+        scores = pagerank(adj)
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores > 0)
+
+    def test_personalization(self):
+        adj = build_adjacency(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        teleport = np.array([1.0, 0.0, 0.0, 0.0])
+        scores = pagerank(adj, personalization=teleport)
+        assert scores[0] > scores[3]
+
+    def test_invalid_damping_raises(self):
+        adj = build_adjacency(3, np.array([[0, 1], [1, 2]]))
+        with pytest.raises(GraphError):
+            pagerank(adj, damping=1.5)
+
+    def test_invalid_personalization_raises(self):
+        adj = build_adjacency(3, np.array([[0, 1], [1, 2]]))
+        with pytest.raises(GraphError):
+            pagerank(adj, personalization=np.zeros(3))
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            pagerank(sp.csr_matrix((0, 0)))
+
+
+class TestPersonalizedPropagationMatrix:
+    def test_rows_approximately_stochastic(self):
+        adj = build_adjacency(6, np.array([[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]]))
+        ppr = personalized_propagation_matrix(adj, alpha=0.2, iterations=50)
+        # Â is similarity-normalized, not stochastic, so rows are close to
+        # but not exactly 1; they must be positive and bounded.
+        assert np.all(ppr >= -1e-12)
+        assert ppr.sum(axis=1).max() <= 1.5
+
+    def test_self_affinity_dominates_at_high_alpha(self):
+        adj = build_adjacency(5, np.array([[0, 1], [1, 2], [2, 3], [3, 4]]))
+        ppr = personalized_propagation_matrix(adj, alpha=0.9, iterations=30)
+        assert np.all(np.argmax(ppr, axis=1) == np.arange(5))
+
+    def test_affinity_decays_with_distance(self):
+        adj = build_adjacency(6, np.array([[i, i + 1] for i in range(5)]))
+        ppr = personalized_propagation_matrix(adj, alpha=0.1, iterations=60)
+        assert ppr[0, 1] > ppr[0, 4]
+
+    def test_invalid_alpha_raises(self):
+        adj = build_adjacency(3, np.array([[0, 1], [1, 2]]))
+        with pytest.raises(GraphError):
+            personalized_propagation_matrix(adj, alpha=0.0)

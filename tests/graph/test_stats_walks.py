@@ -1,0 +1,80 @@
+"""Tests for graph statistics and random-walk utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    edge_homophily,
+    random_walk,
+    sample_walks,
+    summarize,
+    walk_visit_counts,
+)
+from repro.graph.graph import build_adjacency
+from repro.graph.stats import largest_connected_component_size
+
+
+class TestStats:
+    def test_edge_homophily_all_same(self):
+        adj = build_adjacency(4, np.array([[0, 1], [2, 3]]))
+        labels = np.array([0, 0, 1, 1])
+        assert edge_homophily(adj, labels) == 1.0
+
+    def test_edge_homophily_mixed(self):
+        adj = build_adjacency(4, np.array([[0, 1], [1, 2]]))
+        labels = np.array([0, 0, 1, 1])
+        assert edge_homophily(adj, labels) == pytest.approx(0.5)
+
+    def test_edge_homophily_empty_graph(self):
+        adj = build_adjacency(3, np.empty((0, 2), dtype=np.int64))
+        assert edge_homophily(adj, np.zeros(3, dtype=int)) == 0.0
+
+    def test_summarize(self, tiny_graph):
+        stats = summarize(tiny_graph)
+        assert stats.num_nodes == tiny_graph.num_nodes
+        assert stats.num_classes == 2
+        assert 0.0 <= stats.edge_homophily <= 1.0
+        assert stats.label_rate == pytest.approx(tiny_graph.label_rate)
+        assert set(stats.as_dict()) >= {"num_nodes", "edge_homophily"}
+
+    def test_largest_component(self):
+        # Two components: sizes 3 and 2.
+        adj = build_adjacency(5, np.array([[0, 1], [1, 2], [3, 4]]))
+        assert largest_connected_component_size(adj) == 3
+
+
+class TestWalks:
+    def _line(self, n=5):
+        return build_adjacency(n, np.array([[i, i + 1] for i in range(n - 1)]))
+
+    def test_walk_length(self, rng):
+        path = random_walk(self._line(), start=2, length=4, rng=rng)
+        assert len(path) == 5
+        assert path[0] == 2
+
+    def test_walk_steps_follow_edges(self, rng):
+        adj = self._line()
+        path = random_walk(adj, start=0, length=10, rng=rng)
+        for a, b in zip(path[:-1], path[1:]):
+            assert adj[a, b] == 1.0
+
+    def test_walk_stops_at_isolated_node(self, rng):
+        adj = build_adjacency(3, np.array([[0, 1]]))
+        path = random_walk(adj, start=2, length=5, rng=rng)
+        np.testing.assert_array_equal(path, [2])
+
+    def test_negative_length_raises(self, rng):
+        with pytest.raises(GraphError):
+            random_walk(self._line(), 0, -1, rng)
+
+    def test_sample_walks_count(self, rng):
+        walks = sample_walks(self._line(4), walks_per_node=3, length=2, rng=rng)
+        assert len(walks) == 12
+
+    def test_visit_counts_normalized_and_local(self, rng):
+        adj = self._line(10)
+        counts = walk_visit_counts(adj, seeds=np.array([0]), walks_per_seed=50, length=3, rng=rng)
+        assert counts.sum() == pytest.approx(1.0)
+        # Mass concentrates near the seed.
+        assert counts[:4].sum() > counts[6:].sum()

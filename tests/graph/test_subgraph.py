@@ -1,0 +1,80 @@
+"""Tests for induced subgraphs and inductive splits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import induced_subgraph, make_inductive_split
+from repro.training import make_rng
+
+
+class TestInducedSubgraph:
+    def test_structure_preserved(self, tiny_graph):
+        nodes = np.arange(0, tiny_graph.num_nodes, 2)
+        sub, mapping = induced_subgraph(tiny_graph, nodes)
+        np.testing.assert_array_equal(mapping, nodes)
+        # Every subgraph edge exists in the original (modulo the
+        # isolated-node patch, which only adds edges between kept nodes).
+        src, dst = sub.edge_list()
+        assert sub.num_nodes == len(nodes)
+        assert len(src) > 0
+
+    def test_labels_and_features_remapped(self, tiny_graph):
+        nodes = np.array([3, 1, 7])  # deliberately unsorted
+        sub, mapping = induced_subgraph(tiny_graph, nodes)
+        np.testing.assert_array_equal(mapping, [1, 3, 7])
+        np.testing.assert_array_equal(sub.labels, tiny_graph.labels[[1, 3, 7]])
+        np.testing.assert_allclose(
+            np.asarray(sub.features), np.asarray(tiny_graph.features[[1, 3, 7]])
+        )
+
+    def test_split_indices_carried_over(self, tiny_graph):
+        # Keep all nodes → splits identical.
+        sub, _ = induced_subgraph(tiny_graph, np.arange(tiny_graph.num_nodes))
+        np.testing.assert_array_equal(sub.train_index, tiny_graph.train_index)
+        np.testing.assert_array_equal(sub.test_index, tiny_graph.test_index)
+
+    def test_dropped_nodes_leave_splits(self, tiny_graph):
+        keep = np.setdiff1d(np.arange(tiny_graph.num_nodes), tiny_graph.test_index[:3])
+        sub, _ = induced_subgraph(tiny_graph, keep)
+        assert len(sub.test_index) == len(tiny_graph.test_index) - 3
+
+    def test_too_few_nodes_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(tiny_graph, np.array([0]))
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(tiny_graph, np.array([0, 10_000]))
+
+    def test_no_isolated_nodes_in_result(self, tiny_graph):
+        rng = np.random.default_rng(0)
+        nodes = rng.choice(tiny_graph.num_nodes, size=10, replace=False)
+        sub, _ = induced_subgraph(tiny_graph, nodes)
+        assert sub.degrees().min() >= 1
+
+
+class TestInductiveSplit:
+    def test_unseen_nodes_absent_from_observed(self, tiny_graph):
+        split = make_inductive_split(tiny_graph, 0.5, make_rng(0))
+        assert len(np.intersect1d(split.observed_nodes, split.unseen_nodes)) == 0
+        assert split.observed.num_nodes == tiny_graph.num_nodes - len(split.unseen_nodes)
+
+    def test_unseen_come_from_test_set(self, tiny_graph):
+        split = make_inductive_split(tiny_graph, 0.5, make_rng(1))
+        assert set(split.unseen_nodes) <= set(tiny_graph.test_index)
+
+    def test_fraction_controls_count(self, tiny_graph):
+        half = make_inductive_split(tiny_graph, 0.5, make_rng(2))
+        all_hidden = make_inductive_split(tiny_graph, 1.0, make_rng(2))
+        assert len(all_hidden.unseen_nodes) == len(tiny_graph.test_index)
+        assert len(half.unseen_nodes) == round(len(tiny_graph.test_index) * 0.5)
+
+    def test_invalid_fraction(self, tiny_graph):
+        with pytest.raises(GraphError):
+            make_inductive_split(tiny_graph, 0.0, make_rng(0))
+
+    def test_training_labels_preserved_in_observed(self, tiny_graph):
+        split = make_inductive_split(tiny_graph, 0.5, make_rng(3))
+        # All training nodes remain observed (only test nodes are hidden).
+        assert len(split.observed.train_index) == len(tiny_graph.train_index)

@@ -1,0 +1,102 @@
+"""Tests for the extended model zoo: SGC, GraphSAGE, NGCN, DGCN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import DGCN, NGCN, SGC, GraphSAGE, ppmi_matrix
+from repro.training import Trainer, make_rng
+
+EXTENDED = [
+    ("sgc", lambda g, rng: SGC(g.num_features, g.num_classes, rng, k_hops=2)),
+    ("graphsage", lambda g, rng: GraphSAGE(g.num_features, g.num_classes, rng, hidden=8)),
+    ("ngcn", lambda g, rng: NGCN(g.num_features, g.num_classes, rng, hidden=8, num_scales=2)),
+    ("dgcn", lambda g, rng: DGCN(g.num_features, g.num_classes, rng, hidden=8)),
+]
+
+
+class TestForward:
+    @pytest.mark.parametrize("name,factory", EXTENDED)
+    def test_logit_shape(self, tiny_graph, rng, name, factory):
+        model = factory(tiny_graph, rng)
+        assert model(tiny_graph).shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    @pytest.mark.parametrize("name,factory", EXTENDED)
+    def test_learns_two_block_task(self, tiny_graph, name, factory):
+        model = factory(tiny_graph, make_rng(0))
+        result = Trainer(max_epochs=100, patience=40).fit(model, tiny_graph)
+        assert result.test_accuracy > 0.6, f"{name} failed to learn"
+
+
+class TestSGC:
+    def test_propagated_features_cached_per_graph(self, tiny_graph, rng):
+        model = SGC(tiny_graph.num_features, tiny_graph.num_classes, rng)
+        first = model._propagated_features(tiny_graph)
+        second = model._propagated_features(tiny_graph)
+        assert first is second
+
+    def test_more_hops_smooth_more(self, tiny_graph, rng):
+        shallow = SGC(tiny_graph.num_features, tiny_graph.num_classes, rng, k_hops=1)
+        deep = SGC(tiny_graph.num_features, tiny_graph.num_classes, rng, k_hops=8)
+        var_shallow = shallow._propagated_features(tiny_graph).var(axis=0).mean()
+        var_deep = deep._propagated_features(tiny_graph).var(axis=0).mean()
+        assert var_deep < var_shallow
+
+    def test_invalid_hops(self, rng):
+        with pytest.raises(ConfigError):
+            SGC(4, 2, rng, k_hops=0)
+
+
+class TestGraphSAGE:
+    def test_invalid_layers(self, rng):
+        with pytest.raises(ConfigError):
+            GraphSAGE(4, 2, rng, num_layers=0)
+
+    def test_layer_consumes_concatenated_input(self, tiny_graph, rng):
+        model = GraphSAGE(tiny_graph.num_features, tiny_graph.num_classes, rng, hidden=8)
+        assert model.layers[0].in_features == 2 * tiny_graph.num_features
+
+
+class TestNGCN:
+    def test_invalid_scales(self, rng):
+        with pytest.raises(ConfigError):
+            NGCN(4, 2, rng, num_scales=0)
+
+    def test_single_scale_runs(self, tiny_graph, rng):
+        model = NGCN(tiny_graph.num_features, tiny_graph.num_classes, rng, num_scales=1)
+        assert model(tiny_graph).shape[1] == tiny_graph.num_classes
+
+
+class TestDGCN:
+    def test_ppmi_properties(self, tiny_graph):
+        ppmi = ppmi_matrix(tiny_graph.adjacency, walk_length=3)
+        dense = ppmi.toarray()
+        assert dense.shape == (tiny_graph.num_nodes, tiny_graph.num_nodes)
+        assert (dense >= 0).all()
+        # PPMI of a homophilous graph keeps most mass within communities.
+        labels = tiny_graph.labels
+        same = dense[np.ix_(labels == 0, labels == 0)].sum() + dense[np.ix_(labels == 1, labels == 1)].sum()
+        cross = dense[np.ix_(labels == 0, labels == 1)].sum() * 2
+        assert same > cross
+
+    def test_ppmi_cached_per_graph(self, tiny_graph, rng):
+        model = DGCN(tiny_graph.num_features, tiny_graph.num_classes, rng)
+        model(tiny_graph)
+        first = model._ppmi
+        model(tiny_graph)
+        assert model._ppmi is first
+
+    def test_invalid_blend(self, rng):
+        with pytest.raises(ConfigError):
+            DGCN(4, 2, rng, blend=1.5)
+
+    def test_invalid_walk_length(self, tiny_graph):
+        with pytest.raises(ConfigError):
+            ppmi_matrix(tiny_graph.adjacency, walk_length=0)
+
+    def test_blend_extremes_differ(self, tiny_graph):
+        local = DGCN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(0), blend=1.0)
+        dual = DGCN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(0), blend=0.0)
+        a = local.predict_logits(tiny_graph)
+        b = dual.predict_logits(tiny_graph)
+        assert not np.allclose(a, b)

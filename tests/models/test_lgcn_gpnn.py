@@ -1,0 +1,160 @@
+"""Tests for the LGCN and GPNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import GPNN, LGCN, k_largest_neighbor_features, partition_graph, split_propagation_matrices
+from repro.training import Trainer, make_rng
+
+
+class TestKLargestSelection:
+    def test_values_come_from_neighbors(self, tiny_graph):
+        values = np.random.default_rng(0).normal(size=(tiny_graph.num_nodes, 3))
+        out = k_largest_neighbor_features(tiny_graph.adjacency, values, k=2)
+        assert out.shape == (tiny_graph.num_nodes, 2, 3)
+        csr = tiny_graph.adjacency.tocsr()
+        node = int(tiny_graph.train_index[0])
+        neighbors = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+        for dim in range(3):
+            column = out[node, :, dim]
+            pool = set(np.round(values[neighbors, dim], 10)) | {0.0}
+            assert all(np.round(v, 10) in pool for v in column)
+
+    def test_descending_order(self):
+        from repro.graph import build_adjacency
+
+        adj = build_adjacency(4, np.array([[0, 1], [0, 2], [0, 3]]))
+        values = np.array([[0.0], [3.0], [1.0], [2.0]])
+        out = k_largest_neighbor_features(adj, values, k=3)
+        np.testing.assert_allclose(out[0, :, 0], [3.0, 2.0, 1.0])
+
+    def test_zero_padding_for_low_degree(self):
+        from repro.graph import build_adjacency
+
+        adj = build_adjacency(3, np.array([[0, 1]]))
+        values = np.ones((3, 2))
+        out = k_largest_neighbor_features(adj, values, k=4)
+        np.testing.assert_allclose(out[0, 0], [1.0, 1.0])
+        np.testing.assert_allclose(out[0, 1:], 0.0)
+
+    def test_invalid_k(self, tiny_graph):
+        with pytest.raises(ConfigError):
+            k_largest_neighbor_features(tiny_graph.adjacency, np.ones((tiny_graph.num_nodes, 2)), k=0)
+
+
+class TestKLargestSelectModule:
+    def test_forward_matches_numpy_reference(self, tiny_graph, rng):
+        from repro.models.lgcn import _KLargestSelect
+        from repro.tensor import Tensor
+
+        values = rng.normal(size=(tiny_graph.num_nodes, 5))
+        select = _KLargestSelect(k=3)
+        out = select(tiny_graph.adjacency, Tensor(values)).data
+        reference = k_largest_neighbor_features(tiny_graph.adjacency, values, k=3)
+        # Same multiset of selected values per (node, dim); low-degree
+        # padding is 0.0 in both.
+        np.testing.assert_allclose(np.sort(out, axis=1), np.sort(reference, axis=1), atol=1e-12)
+
+    def test_gradient_reaches_selected_rows_only(self, rng):
+        from repro.graph import build_adjacency
+        from repro.models.lgcn import _KLargestSelect
+        from repro.tensor import Tensor, ops
+
+        # Star: node 0 sees nodes 1..4; with k=2 only the top-2 get grads.
+        adj = build_adjacency(5, np.array([[0, i] for i in range(1, 5)]))
+        values = Tensor(np.array([[0.0], [4.0], [3.0], [2.0], [1.0]]), requires_grad=True)
+        select = _KLargestSelect(k=2)
+        out = select(adj, values)
+        # Only node 0's selection matters for this check.
+        ops.sum(ops.gather(out, np.array([0]))).backward()
+        grads = values.grad.ravel()
+        assert grads[1] > 0 and grads[2] > 0   # top-2 neighbors of node 0
+        assert grads[3] == 0 and grads[4] == 0
+
+    def test_table_cached_per_adjacency(self, tiny_graph, rng):
+        from repro.models.lgcn import _KLargestSelect
+        from repro.tensor import Tensor
+
+        select = _KLargestSelect(k=2)
+        values = Tensor(rng.normal(size=(tiny_graph.num_nodes, 3)))
+        select(tiny_graph.adjacency, values)
+        table = select._neighbor_table
+        select(tiny_graph.adjacency, values)
+        assert select._neighbor_table is table
+
+
+class TestLGCN:
+    def test_forward_shape(self, tiny_graph, rng):
+        model = LGCN(tiny_graph.num_features, tiny_graph.num_classes, rng, hidden=8, k=3)
+        assert model(tiny_graph).shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_learns_two_block_task(self, tiny_graph):
+        model = LGCN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(0), hidden=8, k=3)
+        result = Trainer(max_epochs=100, patience=40).fit(model, tiny_graph)
+        assert result.test_accuracy > 0.6
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ConfigError):
+            LGCN(4, 2, rng, k=0)
+
+    def test_gradients_flow_to_all_parameters(self, tiny_graph, rng):
+        model = LGCN(tiny_graph.num_features, tiny_graph.num_classes, rng, hidden=8, k=3)
+        from repro.tensor import ops
+
+        loss = ops.mean(ops.mul(model(tiny_graph), model(tiny_graph)))
+        loss.backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+
+class TestPartitioning:
+    def test_partition_count_respected(self, tiny_graph):
+        assignment = partition_graph(tiny_graph.adjacency, num_partitions=3)
+        assert len(assignment) == tiny_graph.num_nodes
+        assert len(np.unique(assignment)) <= 3
+
+    def test_partitions_align_with_communities(self, tiny_graph):
+        # On a two-block graph, 2 partitions should largely match labels.
+        assignment = partition_graph(tiny_graph.adjacency, num_partitions=2)
+        labels = tiny_graph.labels
+        agreement = max(
+            (assignment == labels).mean(), (assignment == 1 - labels).mean()
+        )
+        assert agreement > 0.8
+
+    def test_invalid_partitions(self, tiny_graph):
+        with pytest.raises(ConfigError):
+            partition_graph(tiny_graph.adjacency, num_partitions=0)
+
+    def test_split_matrices_cover_all_edges(self, tiny_graph):
+        assignment = partition_graph(tiny_graph.adjacency, num_partitions=2)
+        intra, inter = split_propagation_matrices(tiny_graph.adjacency, assignment)
+        # Both normalized with self loops → rows well defined.
+        assert intra.shape == inter.shape == tiny_graph.adjacency.shape
+        # Off-diagonal structure is disjoint between the halves.
+        intra_nd = intra.copy()
+        intra_nd.setdiag(0)
+        inter_nd = inter.copy()
+        inter_nd.setdiag(0)
+        overlap = intra_nd.multiply(inter_nd)
+        assert overlap.nnz == 0
+
+
+class TestGPNN:
+    def test_forward_shape(self, tiny_graph, rng):
+        model = GPNN(tiny_graph.num_features, tiny_graph.num_classes, rng, hidden=8, num_partitions=2)
+        assert model(tiny_graph).shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_learns_two_block_task(self, tiny_graph):
+        model = GPNN(tiny_graph.num_features, tiny_graph.num_classes, make_rng(0),
+                     hidden=8, num_partitions=2)
+        result = Trainer(max_epochs=100, patience=40).fit(model, tiny_graph)
+        assert result.test_accuracy > 0.6
+
+    def test_partition_matrices_cached(self, tiny_graph, rng):
+        model = GPNN(tiny_graph.num_features, tiny_graph.num_classes, rng, hidden=8)
+        model(tiny_graph)
+        intra = model._intra
+        model(tiny_graph)
+        assert model._intra is intra

@@ -1,0 +1,49 @@
+"""Tests for optimizer learning-rate schedules."""
+
+import pytest
+
+from repro.nn import cosine_decay_lr, step_decay_lr
+
+
+class TestStepDecay:
+    def test_initial_value(self):
+        assert step_decay_lr(0.1, 0, step_size=10) == pytest.approx(0.1)
+
+    def test_halves_each_step(self):
+        assert step_decay_lr(0.1, 10, step_size=10) == pytest.approx(0.05)
+        assert step_decay_lr(0.1, 25, step_size=10) == pytest.approx(0.025)
+
+    def test_custom_factor(self):
+        assert step_decay_lr(1.0, 3, step_size=1, factor=0.1) == pytest.approx(1e-3)
+
+    def test_negative_epoch_clamped(self):
+        assert step_decay_lr(0.1, -5, step_size=10) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_decay_lr(0.1, 0, step_size=0)
+        with pytest.raises(ValueError):
+            step_decay_lr(0.1, 0, step_size=5, factor=0.0)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        assert cosine_decay_lr(0.1, 0, 100) == pytest.approx(0.1)
+        assert cosine_decay_lr(0.1, 100, 100) == pytest.approx(0.0, abs=1e-15)
+
+    def test_floor(self):
+        assert cosine_decay_lr(0.1, 100, 100, floor=0.01) == pytest.approx(0.01)
+
+    def test_monotone_decreasing(self):
+        values = [cosine_decay_lr(0.1, e, 50) for e in range(51)]
+        assert all(b <= a + 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_midpoint(self):
+        assert cosine_decay_lr(0.2, 50, 100) == pytest.approx(0.1)
+
+    def test_epoch_clamped(self):
+        assert cosine_decay_lr(0.1, 1000, 100) == pytest.approx(0.0, abs=1e-15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cosine_decay_lr(0.1, 0, 0)

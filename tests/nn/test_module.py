@@ -1,0 +1,105 @@
+"""Tests for Module/Parameter registration, modes, and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter
+from repro.tensor import ops
+
+
+class Toy(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.layer = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(1), name="scale")
+
+    def forward(self, x):
+        return ops.mul(self.layer(x), self.scale)
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self, rng):
+        model = Toy(rng)
+        names = dict(model.named_parameters())
+        assert set(names) == {"layer.weight", "layer.bias", "scale"}
+
+    def test_num_parameters(self, rng):
+        model = Toy(rng)
+        assert model.num_parameters() == 3 * 2 + 2 + 1
+
+    def test_module_list_registers_children(self, rng):
+        container = ModuleList([Linear(2, 2, rng), Linear(2, 2, rng)])
+        assert len(container) == 2
+        assert len(container.parameters()) == 4
+        assert container[0] is list(iter(container))[0]
+
+    def test_module_list_append(self, rng):
+        container = ModuleList()
+        container.append(Linear(2, 3, rng))
+        assert len(container.parameters()) == 2
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestModes:
+    def test_train_eval_propagate(self, rng):
+        model = Toy(rng)
+        model.eval()
+        assert not model.training
+        assert not model.layer.training
+        model.train()
+        assert model.layer.training
+
+    def test_zero_grad_clears_all(self, rng):
+        model = Toy(rng)
+        out = ops.sum(model(np.ones((2, 3))))
+        out.backward()
+        assert model.layer.weight.grad is not None
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        model = Toy(rng)
+        state = model.state_dict()
+        original = model.layer.weight.data.copy()
+        model.layer.weight.data += 5.0
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model.layer.weight.data, original)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = Toy(rng)
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self, rng):
+        model = Toy(rng)
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        model = Toy(rng)
+        state = model.state_dict()
+        state["ghost"] = np.ones(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_wrong_shape_raises(self, rng):
+        model = Toy(rng)
+        state = model.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_transfer_between_twin_models(self, rng):
+        a = Toy(np.random.default_rng(0))
+        b = Toy(np.random.default_rng(1))
+        b.load_state_dict(a.state_dict())
+        x = np.ones((2, 3))
+        np.testing.assert_allclose(a(x).data, b(x).data)

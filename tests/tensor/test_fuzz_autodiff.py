@@ -1,0 +1,88 @@
+"""Fuzz testing of the autodiff engine.
+
+Builds random expression DAGs from the op vocabulary and verifies every
+analytic gradient against central finite differences.  This catches
+interaction bugs (broadcasting × reuse × mixed ops) that targeted
+gradchecks miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, ops
+
+# Binary ops safe for arbitrary finite inputs.
+BINARY_OPS = [ops.add, ops.sub, ops.mul]
+# Unary ops safe for arbitrary finite inputs (smooth almost everywhere;
+# inputs are kept away from kinks by the offset below).
+UNARY_OPS = [ops.tanh, ops.sigmoid, lambda t: ops.mul(t, 0.5), ops.exp]
+
+
+def build_random_expression(rng: np.random.Generator, leaves, depth: int):
+    """Randomly combine ``leaves`` into a scalar expression tree."""
+    pool = list(leaves)
+    for _ in range(depth):
+        choice = rng.random()
+        if choice < 0.55 and len(pool) >= 2:
+            i, j = rng.choice(len(pool), size=2, replace=False)
+            op = BINARY_OPS[rng.integers(len(BINARY_OPS))]
+            pool.append(op(pool[int(i)], pool[int(j)]))
+        else:
+            i = rng.integers(len(pool))
+            op = UNARY_OPS[rng.integers(len(UNARY_OPS))]
+            pool.append(op(pool[int(i)]))
+    # Reduce everything to one scalar so backward() is valid.
+    total = None
+    for node in pool:
+        term = ops.sum(node)
+        total = term if total is None else ops.add(total, term)
+    return total
+
+
+class TestFuzzedGradients:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_dag_gradients_match_finite_differences(self, seed):
+        rng = np.random.default_rng(seed)
+        num_leaves = int(rng.integers(2, 4))
+        shape = (int(rng.integers(2, 4)), int(rng.integers(2, 4)))
+        leaves = [
+            Tensor(rng.normal(scale=0.5, size=shape), requires_grad=True)
+            for _ in range(num_leaves)
+        ]
+
+        def expression():
+            return build_random_expression(np.random.default_rng(seed + 1000), leaves, depth=5)
+
+        check_gradients(expression, leaves, atol=1e-4, rtol=1e-3)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_matmul_chains(self, seed):
+        rng = np.random.default_rng(seed + 50)
+        dims = [int(rng.integers(2, 5)) for _ in range(4)]
+        mats = [
+            Tensor(rng.normal(scale=0.5, size=(dims[i], dims[i + 1])), requires_grad=True)
+            for i in range(3)
+        ]
+
+        def expression():
+            out = mats[0]
+            for m in mats[1:]:
+                out = ops.matmul(out, m)
+            return ops.sum(ops.tanh(out))
+
+        check_gradients(expression, mats, atol=1e-4, rtol=1e-3)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_softmax_gather_pipelines(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        n, k = int(rng.integers(3, 7)), int(rng.integers(2, 5))
+        logits = Tensor(rng.normal(size=(n, k)), requires_grad=True)
+        index = rng.integers(0, n, size=n)
+        weights = Tensor(rng.normal(size=(n, k)))
+
+        def expression():
+            probs = ops.softmax(logits, axis=1)
+            picked = ops.gather(probs, index)
+            return ops.sum(ops.mul(picked, weights))
+
+        check_gradients(expression, [logits], atol=1e-4, rtol=1e-3)

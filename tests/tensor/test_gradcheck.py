@@ -1,0 +1,174 @@
+"""Finite-difference verification of every op's backward pass.
+
+These are the ground-truth tests for the autodiff substrate: if these
+pass, the gradients that train every model in this repository are right.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, ops
+from repro.tensor.sparse import spmm
+
+RNG = np.random.default_rng(7)
+
+
+def param(shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        a, b = param((3, 4)), param((3, 4))
+        check_gradients(lambda: ops.sum(ops.add(a, b) * 1.5), [a, b])
+
+    def test_add_broadcast_bias(self):
+        a, b = param((3, 4)), param((4,))
+        check_gradients(lambda: ops.sum(ops.mul(ops.add(a, b), ops.add(a, b))), [a, b])
+
+    def test_sub(self):
+        a, b = param((2, 5)), param((2, 5))
+        check_gradients(lambda: ops.sum(ops.mul(ops.sub(a, b), ops.sub(a, b))), [a, b])
+
+    def test_mul(self):
+        a, b = param((4,)), param((4,))
+        check_gradients(lambda: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_div(self):
+        a = param((3,))
+        b = Tensor(np.abs(RNG.normal(size=3)) + 1.0, requires_grad=True)
+        check_gradients(lambda: ops.sum(ops.div(a, b)), [a, b])
+
+    def test_power(self):
+        a = Tensor(np.abs(RNG.normal(size=4)) + 0.5, requires_grad=True)
+        check_gradients(lambda: ops.sum(ops.power(a, 3.0)), [a])
+
+    def test_relu(self):
+        a = Tensor(RNG.normal(size=(3, 3)) + 0.05, requires_grad=True)
+        check_gradients(lambda: ops.sum(ops.relu(a)), [a], epsilon=1e-7)
+
+    def test_leaky_relu(self):
+        a = Tensor(RNG.normal(size=(3, 3)) + 0.05, requires_grad=True)
+        check_gradients(lambda: ops.sum(ops.leaky_relu(a, 0.2)), [a], epsilon=1e-7)
+
+    def test_elu(self):
+        a = param((3, 3))
+        check_gradients(lambda: ops.sum(ops.elu(a)), [a])
+
+    def test_exp(self):
+        a = param((3,))
+        check_gradients(lambda: ops.sum(ops.exp(a)), [a])
+
+    def test_log(self):
+        a = Tensor(np.abs(RNG.normal(size=3)) + 1.0, requires_grad=True)
+        check_gradients(lambda: ops.sum(ops.log(a)), [a])
+
+    def test_tanh(self):
+        a = param((4,))
+        check_gradients(lambda: ops.sum(ops.mul(ops.tanh(a), ops.tanh(a))), [a])
+
+    def test_sigmoid(self):
+        a = param((4,))
+        check_gradients(lambda: ops.sum(ops.sigmoid(a)), [a])
+
+
+class TestLinalgGradients:
+    def test_matmul_both_operands(self):
+        a, b = param((3, 4)), param((4, 2))
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_quadratic(self):
+        a = param((3, 3))
+        check_gradients(lambda: ops.sum(ops.mul(ops.matmul(a, a), 0.5)), [a])
+
+    def test_spmm(self):
+        import scipy.sparse as sp
+
+        matrix = sp.random(5, 4, density=0.5, random_state=1, format="csr")
+        dense = param((4, 3))
+        check_gradients(lambda: ops.sum(spmm(matrix, dense)), [dense])
+
+    def test_transpose(self):
+        a = param((2, 4))
+        check_gradients(lambda: ops.sum(ops.mul(ops.transpose(a), ops.transpose(a))), [a])
+
+    def test_reshape(self):
+        a = param((2, 6))
+        check_gradients(lambda: ops.sum(ops.mul(ops.reshape(a, (3, 4)), 2.0)), [a])
+
+
+class TestReductionGradients:
+    def test_sum_axis0(self):
+        a = param((3, 4))
+        check_gradients(lambda: ops.sum(ops.mul(ops.sum(a, axis=0), ops.sum(a, axis=0))), [a])
+
+    def test_mean(self):
+        a = param((4, 2))
+        check_gradients(lambda: ops.mul(ops.mean(a), 3.0), [a])
+
+    def test_mean_axis1_keepdims(self):
+        a = param((3, 5))
+        check_gradients(lambda: ops.sum(ops.mul(ops.mean(a, axis=1, keepdims=True), 2.0)), [a])
+
+    def test_max_along(self):
+        # Use well-separated values so the argmax is stable under epsilon.
+        a = Tensor(np.arange(12, dtype=np.float64).reshape(3, 4) * 2.0, requires_grad=True)
+        check_gradients(lambda: ops.sum(ops.max_along(a, axis=1)), [a])
+
+
+class TestSoftmaxGradients:
+    def test_softmax(self):
+        a = param((3, 4))
+        weights = Tensor(RNG.normal(size=(3, 4)))
+        check_gradients(lambda: ops.sum(ops.mul(ops.softmax(a, axis=1), weights)), [a])
+
+    def test_log_softmax(self):
+        a = param((4, 3))
+        weights = Tensor(RNG.normal(size=(4, 3)))
+        check_gradients(lambda: ops.sum(ops.mul(ops.log_softmax(a, axis=1), weights)), [a])
+
+
+class TestIndexingGradients:
+    def test_gather_rows(self):
+        a = param((5, 3))
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda: ops.sum(ops.mul(ops.gather(a, idx), ops.gather(a, idx))), [a])
+
+    def test_scatter_add(self):
+        a = param((6, 2))
+        seg = np.array([0, 0, 1, 2, 2, 2])
+        check_gradients(
+            lambda: ops.sum(ops.mul(ops.scatter_add_rows(a, seg, 3), ops.scatter_add_rows(a, seg, 3))),
+            [a],
+        )
+
+    def test_concat(self):
+        a, b = param((2, 2)), param((2, 3))
+        check_gradients(lambda: ops.sum(ops.mul(ops.concat([a, b], axis=1), 2.0)), [a, b])
+
+
+class TestCompositeGradients:
+    def test_two_layer_network(self):
+        x = Tensor(RNG.normal(size=(6, 5)))
+        w1, w2 = param((5, 4)), param((4, 2))
+        targets = Tensor(RNG.normal(size=(6, 2)))
+
+        def loss():
+            h = ops.relu(ops.matmul(x, w1))
+            out = ops.matmul(h, w2)
+            diff = ops.sub(out, targets)
+            return ops.mean(ops.sum(ops.mul(diff, diff), axis=1))
+
+        check_gradients(loss, [w1, w2], atol=1e-4)
+
+    def test_cross_entropy_pipeline(self):
+        from repro.tensor.functional import cross_entropy
+
+        logits_w = param((5, 3))
+        x = Tensor(RNG.normal(size=(7, 5)))
+        labels = np.array([0, 1, 2, 0, 1, 2, 0])
+        check_gradients(
+            lambda: cross_entropy(ops.log_softmax(ops.matmul(x, logits_w), axis=1), labels),
+            [logits_w],
+            atol=1e-4,
+        )

@@ -1,0 +1,133 @@
+"""Hypothesis property tests for the autodiff engine.
+
+These complement the finite-difference gradchecks with algebraic
+invariants that must hold for arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, ops
+
+finite_floats = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+class TestAlgebraicIdentities:
+    @settings(max_examples=30, deadline=None)
+    @given(arrays((3, 4)), arrays((3, 4)))
+    def test_addition_commutes(self, a, b):
+        left = ops.add(Tensor(a), Tensor(b)).data
+        right = ops.add(Tensor(b), Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays((2, 3)))
+    def test_double_negation(self, a):
+        out = (-(-Tensor(a))).data
+        np.testing.assert_allclose(out, a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays((4,)))
+    def test_sub_is_add_neg(self, a):
+        x = Tensor(a)
+        np.testing.assert_allclose(ops.sub(x, x).data, np.zeros_like(a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays((3, 3)), arrays((3, 3)))
+    def test_matmul_matches_numpy(self, a, b):
+        np.testing.assert_allclose(ops.matmul(Tensor(a), Tensor(b)).data, a @ b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays((2, 5)))
+    def test_transpose_involution(self, a):
+        np.testing.assert_allclose(ops.transpose(ops.transpose(Tensor(a))).data, a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays((3, 4)))
+    def test_sum_equals_numpy(self, a):
+        assert ops.sum(Tensor(a)).item() == pytest.approx(a.sum(), rel=1e-10, abs=1e-10)
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(arrays((5, 4)))
+    def test_softmax_rows_are_distributions(self, a):
+        probs = ops.softmax(Tensor(a), axis=1).data
+        assert (probs >= 0).all()
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays((4, 3)), st.floats(-5, 5, allow_nan=False))
+    def test_softmax_shift_invariance(self, a, shift):
+        base = ops.softmax(Tensor(a), axis=1).data
+        shifted = ops.softmax(Tensor(a + shift), axis=1).data
+        np.testing.assert_allclose(base, shifted, atol=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays((4, 3)))
+    def test_log_softmax_exp_consistency(self, a):
+        log_probs = ops.log_softmax(Tensor(a), axis=1).data
+        np.testing.assert_allclose(np.exp(log_probs).sum(axis=1), np.ones(4), atol=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays((4, 3)))
+    def test_softmax_preserves_argmax(self, a):
+        # Skip near-ties: float rounding inside exp can flip the winner.
+        sorted_rows = np.sort(a, axis=1)
+        gaps = sorted_rows[:, -1] - sorted_rows[:, -2]
+        if (gaps < 1e-6).any():
+            return
+        probs = ops.softmax(Tensor(a), axis=1).data
+        np.testing.assert_array_equal(probs.argmax(axis=1), a.argmax(axis=1))
+
+
+class TestGradientLinearity:
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((3, 3)), st.floats(0.1, 5.0))
+    def test_gradient_scales_with_output_weight(self, a, scale):
+        # d(scale * sum(x))/dx == scale everywhere.
+        x = Tensor(a, requires_grad=True)
+        ops.mul(ops.sum(x), scale).backward()
+        np.testing.assert_allclose(x.grad, np.full_like(a, scale), atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((4,)), arrays((4,)))
+    def test_grad_of_sum_splits_additively(self, a, b):
+        # d(sum(x) + sum(y)) gives ones for both operands.
+        x, y = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+        ops.add(ops.sum(x), ops.sum(y)).backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+        np.testing.assert_allclose(y.grad, np.ones_like(b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((5,)))
+    def test_relu_gradient_mask(self, a):
+        x = Tensor(a, requires_grad=True)
+        ops.sum(ops.relu(x)).backward()
+        np.testing.assert_allclose(x.grad, (a > 0).astype(float))
+
+
+class TestGatherScatterDuality:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays((6, 2)),
+        hnp.arrays(np.int64, (6,), elements=st.integers(0, 5)),
+    )
+    def test_scatter_then_total_preserves_sum(self, values, segments):
+        out = ops.scatter_add_rows(Tensor(values), segments, 6)
+        assert out.data.sum() == pytest.approx(values.sum(), rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.int64, (7,), elements=st.integers(0, 4)))
+    def test_gather_of_identity_is_one_hot(self, index):
+        eye = Tensor(np.eye(5))
+        out = ops.gather(eye, index)
+        expected = np.eye(5)[index]
+        np.testing.assert_allclose(out.data, expected)

@@ -1,0 +1,70 @@
+"""Tests for the sparse-dense products used by graph convolutions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+from repro.tensor.sparse import sparse_feature_matmul, spmm
+
+
+class TestSpmm:
+    def test_matches_dense_product(self):
+        matrix = sp.random(6, 5, density=0.4, random_state=0, format="csr")
+        dense = Tensor(np.random.default_rng(0).normal(size=(5, 3)))
+        out = spmm(matrix, dense)
+        np.testing.assert_allclose(out.data, matrix.toarray() @ dense.data)
+
+    def test_backward_is_transpose_product(self):
+        matrix = sp.random(4, 4, density=0.5, random_state=1, format="csr")
+        dense = Tensor(np.random.default_rng(1).normal(size=(4, 2)), requires_grad=True)
+        out = spmm(matrix, dense)
+        grad = np.ones_like(out.data)
+        out.backward(grad)
+        np.testing.assert_allclose(dense.grad, matrix.toarray().T @ grad)
+
+    def test_accepts_coo_input(self):
+        matrix = sp.random(3, 3, density=0.5, random_state=2, format="coo")
+        dense = Tensor(np.ones((3, 2)))
+        out = spmm(matrix, dense)
+        np.testing.assert_allclose(out.data, matrix.toarray() @ dense.data)
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError):
+            spmm(np.ones((3, 3)), Tensor(np.ones((3, 2))))
+
+    def test_rejects_shape_mismatch(self):
+        matrix = sp.identity(3, format="csr")
+        with pytest.raises(ShapeError):
+            spmm(matrix, Tensor(np.ones((4, 2))))
+
+    def test_rejects_1d_dense(self):
+        matrix = sp.identity(3, format="csr")
+        with pytest.raises(ShapeError):
+            spmm(matrix, Tensor(np.ones(3)))
+
+
+class TestSparseFeatureMatmul:
+    def test_matches_dense_product(self):
+        features = sp.random(7, 10, density=0.3, random_state=3, format="csr")
+        weight = Tensor(np.random.default_rng(3).normal(size=(10, 4)))
+        out = sparse_feature_matmul(features, weight)
+        np.testing.assert_allclose(out.data, features.toarray() @ weight.data)
+
+    def test_gradient_wrt_weight(self):
+        features = sp.random(5, 6, density=0.5, random_state=4, format="csr")
+        weight = Tensor(np.random.default_rng(4).normal(size=(6, 2)), requires_grad=True)
+        out = sparse_feature_matmul(features, weight)
+        grad = np.random.default_rng(5).normal(size=out.shape)
+        out.backward(grad)
+        np.testing.assert_allclose(weight.grad, features.toarray().T @ grad)
+
+    def test_rejects_mismatched_shapes(self):
+        features = sp.identity(4, format="csr")
+        with pytest.raises(ShapeError):
+            sparse_feature_matmul(features, Tensor(np.ones((5, 2))))
+
+    def test_rejects_dense_features(self):
+        with pytest.raises(TypeError):
+            sparse_feature_matmul(np.ones((3, 3)), Tensor(np.ones((3, 2))))

@@ -1,0 +1,50 @@
+"""End-to-end CLI smoke test: every registered experiment runs to completion.
+
+Each experiment executes at an extra-small budget (tiny graphs, few
+epochs); this guards the full harness surface — argument plumbing,
+report construction, formatting, figure rendering — not the accuracies.
+"""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+TINY_ARGS = [
+    "--scale", "0.1",
+    "--seeds", "0",
+    "--base-models", "2",
+    "--max-epochs", "8",
+    "--patience", "8",
+    "--hidden", "8",
+]
+
+# The heaviest harnesses get singled out so a slow run is attributable.
+LIGHT = sorted(set(EXPERIMENTS) - {"table4", "table7", "fig6"})
+
+
+@pytest.mark.parametrize("experiment", LIGHT)
+def test_cli_runs_experiment(experiment, capsys):
+    code = main(["run", experiment, *TINY_ARGS])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "==" in out  # a formatted report was printed
+
+
+def test_cli_runs_fig6(capsys):
+    code = main(["run", "fig6", *TINY_ARGS])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "labels_per_class" in out
+
+
+@pytest.mark.parametrize("experiment", ["table7"])
+def test_cli_runs_grid_experiments(experiment, capsys):
+    code = main(["run", experiment, *TINY_ARGS])
+    assert code == 0
+
+
+def test_cli_runs_table4(capsys):
+    code = main(["run", "table4", *TINY_ARGS])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "RDD(Single)" in out
