@@ -19,13 +19,30 @@ from repro.graph.graph import Graph
 from repro.models.base import GraphModel, softmax_rows
 from repro.models.gcn import GCN
 from repro.tensor.functional import accuracy
+from repro.training.parallel import get_shared, parallel_map
 from repro.training.records import EnsembleResult, TrainResult
 from repro.training.seed import spawn_rngs
 from repro.training.trainer import Trainer
 
 
+def _fit_bagging_member(rng) -> TrainResult:
+    """Train one base model (module-level so it pickles to worker
+    processes; ensemble and graph arrive via the fork-shared payload)."""
+    ensemble, graph = get_shared()
+    model = ensemble._make_model(graph, rng)
+    result = ensemble.trainer.fit(model, graph)
+    if result.predictions is None:  # custom trainer without predictions
+        result.predictions = model.predict_logits(graph)
+    return result
+
+
 class BaggingEnsemble:
-    """Train ``num_base_models`` independent GCNs and average their outputs."""
+    """Train ``num_base_models`` independent GCNs and average their outputs.
+
+    ``workers > 1`` trains the base models in parallel worker processes;
+    they are fully independent (independent rngs, no shared state), so the
+    results match the serial loop exactly.
+    """
 
     def __init__(
         self,
@@ -37,12 +54,14 @@ class BaggingEnsemble:
         lr: float = 0.01,
         weight_decay: float = 5e-4,
         model_factory: Optional[Callable[[Graph, np.random.Generator], GraphModel]] = None,
+        workers: int = 1,
     ):
         self.num_base_models = num_base_models
         self.hidden = hidden
         self.dropout = dropout
         self.trainer = Trainer(max_epochs=max_epochs, patience=patience, lr=lr, weight_decay=weight_decay)
         self._model_factory = model_factory
+        self.workers = workers
 
     def _make_model(self, graph: Graph, rng: np.random.Generator) -> GraphModel:
         if self._model_factory is not None:
@@ -53,14 +72,17 @@ class BaggingEnsemble:
         """Train all base models; returns ensemble and per-model metrics."""
         start = time.perf_counter()
         rngs = spawn_rngs(seed, self.num_base_models)
-        base_results: List[TrainResult] = []
         base_probs: List[np.ndarray] = []
         base_test: List[float] = []
 
-        for rng in rngs:
-            model = self._make_model(graph, rng)
-            base_results.append(self.trainer.fit(model, graph))
-            probs = softmax_rows(model.predict_logits(graph))
+        base_results = parallel_map(
+            _fit_bagging_member,
+            rngs,
+            workers=self.workers,
+            shared=(self, graph),
+        )
+        for result in base_results:
+            probs = softmax_rows(result.predictions)
             base_probs.append(probs)
             base_test.append(accuracy(probs, graph.labels, graph.test_index))
 

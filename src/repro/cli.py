@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--patience", type=int, default=20, help="early-stopping patience")
     run.add_argument("--hidden", type=int, default=16, help="GCN hidden width")
     run.add_argument("--dropout", type=float, default=0.5, help="dropout rate")
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for per-seed runs (1 = serial, identical results)",
+    )
+    run.add_argument(
+        "--dtype", choices=["float32", "float64"], default=None,
+        help="compute dtype (default float64; float32 is faster)",
+    )
     run.add_argument("--out", type=str, default=None, help="write the report as JSON here")
     return parser
 
@@ -97,6 +105,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         patience=args.patience,
         hidden=args.hidden,
         dropout=args.dropout,
+        workers=args.workers,
+        dtype=args.dtype,
     )
     report = module.run(config)
     print(report.format())

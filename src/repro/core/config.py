@@ -66,6 +66,12 @@ class RDDConfig:
     # Labeled-node reliability check: "teacher" (§3.1 prose, default) or
     # "student" (the literal Algorithm 1 line 4) — see core.reliability.
     labeled_check: str = "teacher"
+    # Share the trainer's per-epoch eval forward with the reliability
+    # refresh (2 full-graph forwards per epoch instead of 3).  False
+    # reproduces the legacy schedule where the refresh runs its own
+    # forward; results are identical either way — the shared logits are
+    # bitwise the ones the refresh would recompute.
+    share_eval_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.num_base_models < 1:

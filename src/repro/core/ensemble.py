@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigError, ShapeError
 from repro.tensor.functional import entropy
+from repro.tensor.tensor import get_default_dtype
 
 
 def ensemble_weight(probs: np.ndarray, pagerank: np.ndarray) -> float:
@@ -51,8 +52,8 @@ class EnsembleModel:
 
     def add(self, probs: np.ndarray, logits: np.ndarray, weight: float) -> None:
         """Register one trained base model's detached outputs."""
-        probs = np.asarray(probs, dtype=np.float64)
-        logits = np.asarray(logits, dtype=np.float64)
+        probs = np.asarray(probs, dtype=get_default_dtype())
+        logits = np.asarray(logits, dtype=get_default_dtype())
         if probs.shape != logits.shape:
             raise ShapeError(f"probs {probs.shape} and logits {logits.shape} must match")
         if self._probs and probs.shape != self._probs[0].shape:
@@ -82,13 +83,13 @@ class EnsembleModel:
         """Teacher softmax outputs ``H_T(x)`` (Eq. 13, normalized weights)."""
         weights = self.weights
         stacked = np.stack(self._probs)
-        return np.einsum("t,tnk->nk", weights, stacked)
+        return np.einsum("t,tnk->nk", weights.astype(stacked.dtype, copy=False), stacked)
 
     def embeddings(self) -> np.ndarray:
         """Teacher node embeddings ``F_T(x)``: weighted average of logits."""
         weights = self.weights
         stacked = np.stack(self._logits)
-        return np.einsum("t,tnk->nk", weights, stacked)
+        return np.einsum("t,tnk->nk", weights.astype(stacked.dtype, copy=False), stacked)
 
     def predict(self) -> np.ndarray:
         """Teacher argmax labels."""
@@ -103,4 +104,4 @@ def uniform_softmax_ensemble(prob_list: Sequence[np.ndarray]) -> np.ndarray:
     """Plain unweighted softmax averaging (Bagging / BANs / WEW ablation)."""
     if not prob_list:
         raise ConfigError("cannot ensemble zero models")
-    return np.mean(np.stack([np.asarray(p, dtype=np.float64) for p in prob_list]), axis=0)
+    return np.mean(np.stack([np.asarray(p, dtype=get_default_dtype()) for p in prob_list]), axis=0)

@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.tensor import ops
-from repro.tensor.functional import edge_regularization, embedding_mse, masked_cross_entropy
+from repro.tensor.functional import (
+    edge_regularization,
+    embedding_mse,
+    masked_cross_entropy_logits,
+)
 from repro.tensor.tensor import Tensor
 
 
@@ -70,10 +74,9 @@ def rdd_student_loss(graph: Graph, logits: Tensor, state: RDDLossState) -> Tenso
         Current reliability sets, teacher targets, and loss coefficients.
     """
     k = logits.shape[1]
-    log_probs = ops.log_softmax(logits, axis=1)
-    loss = masked_cross_entropy(log_probs, graph.labels, graph.train_index)
+    loss = masked_cross_entropy_logits(logits, graph.labels, graph.train_index)
     if state.gamma > 0.0 and len(state.distill_index):
-        l2 = _distill_term(logits, log_probs, state, k)
+        l2 = _distill_term(logits, state, k)
         loss = ops.add(loss, ops.mul(l2, state.gamma))
     if state.beta > 0.0 and len(state.edge_src):
         lreg = edge_regularization(logits, state.edge_src, state.edge_dst)
@@ -81,7 +84,7 @@ def rdd_student_loss(graph: Graph, logits: Tensor, state: RDDLossState) -> Tenso
     return loss
 
 
-def _distill_term(logits: Tensor, log_probs: Tensor, state: RDDLossState, k: int) -> Tensor:
+def _distill_term(logits: Tensor, state: RDDLossState, k: int) -> Tensor:
     """The L2 term in the configured formulation (see :data:`DISTILL_MODES`)."""
     index = state.distill_index
     if state.distill_mode == "logit_mse":
@@ -91,7 +94,9 @@ def _distill_term(logits: Tensor, log_probs: Tensor, state: RDDLossState, k: int
         diff = ops.sub(probs, Tensor(state.teacher_probs[index]))
         return ops.mean(ops.sum(ops.mul(diff, diff), axis=1))
     if state.distill_mode == "kl":
-        picked = ops.gather(log_probs, index)
+        # Log-softmax after row selection — row-wise, so identical to
+        # gathering rows of the full log-softmax.
+        picked = ops.log_softmax(ops.gather(logits, index), axis=1)
         per_row = -ops.sum(ops.mul(Tensor(state.teacher_probs[index]), picked), axis=1)
         return ops.mean(per_row)
     raise ValueError(f"unknown distill_mode {state.distill_mode!r}; choose from {DISTILL_MODES}")

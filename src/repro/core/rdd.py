@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.config import RDDConfig
 from repro.core.ensemble import EnsembleModel, ensemble_weight, uniform_softmax_ensemble
 from repro.core.losses import RDDLossState, rdd_student_loss
-from repro.core.reliability import edge_reliability, node_reliability
+from repro.core.reliability import edge_reliability, node_reliability, teacher_context
 from repro.graph.graph import Graph
 from repro.models.base import GraphModel, softmax_rows
 from repro.models.gcn import GCN
@@ -96,6 +96,7 @@ class RDDTrainer:
             patience=config.patience,
             lr=config.lr,
             weight_decay=config.weight_decay,
+            share_eval_forward=config.share_eval_forward,
         )
         pagerank = graph.pagerank()
         edge_src, edge_dst = graph.edge_list()
@@ -117,7 +118,12 @@ class RDDTrainer:
                                            edge_src, edge_dst, reliability_history)
             base_results.append(result)
 
-            logits = model.predict_logits(graph)
+            # Trainer.fit already computed the best-checkpoint logits.
+            logits = (
+                result.predictions
+                if result.predictions is not None
+                else model.predict_logits(graph)
+            )
             probs = softmax_rows(logits)
             base_test.append(accuracy(probs, graph.labels, graph.test_index))
             weight = (
@@ -160,20 +166,34 @@ class RDDTrainer:
         )
         gamma_initial = config.effective_gamma_initial()
         beta = config.effective_beta()
+        # The teacher is frozen while this student trains: hoist its
+        # argmax/uncertainty-threshold work out of the per-epoch refresh.
+        teacher_ctx = teacher_context(
+            teacher_probs,
+            graph.labels,
+            graph.train_index,
+            p=config.p,
+            use_reliability=config.use_node_reliability,
+            score=config.reliability_score,
+            labeled_check=config.labeled_check,
+        )
 
-        def refresh(epoch: int, student: GraphModel) -> None:
-            """Per-epoch reliability update (Alg. 3 line 7)."""
+        def refresh(epoch: int, student: GraphModel, eval_logits=None) -> None:
+            """Per-epoch reliability update (Alg. 3 line 7).
+
+            ``eval_logits`` are the trainer's shared eval-mode logits;
+            when absent (legacy schedule) the refresh runs its own forward.
+            """
             refresh_start = time.perf_counter()
-            student_probs = softmax_rows(student.predict_logits(graph))
+            if eval_logits is None:
+                eval_logits = student.predict_logits(graph)
+            student_probs = softmax_rows(eval_logits)
             sets = node_reliability(
                 teacher_probs,
                 student_probs,
                 graph.labels,
                 graph.train_index,
-                p=config.p,
-                use_reliability=config.use_node_reliability,
-                score=config.reliability_score,
-                labeled_check=config.labeled_check,
+                context=teacher_ctx,
             )
             state.distill_index = sets.distill_index
             if beta > 0.0:

@@ -20,7 +20,7 @@ Reliability decides which teacher predictions the student may learn from:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -83,6 +83,75 @@ def entropy_threshold_mask(entropies: np.ndarray, percent: float, lowest: bool) 
     return mask
 
 
+@dataclass(frozen=True)
+class TeacherContext:
+    """Teacher-side constants of Algorithm 1, precomputed once per student.
+
+    The teacher ensemble is frozen for the whole of one student's
+    training, so its argmax predictions, its uncertainty ranking (the
+    lowest-``p``% threshold mask), and — under the ``"teacher"`` labeled
+    check — the labeled-node reliability are identical across every
+    per-epoch :func:`node_reliability` call.  Hoisting them out turns the
+    per-epoch refresh into student-side work only.
+    """
+
+    teacher_probs: np.ndarray
+    teacher_pred: np.ndarray
+    p: float
+    use_reliability: bool
+    score: str
+    labeled_check: str
+    labeled_mask: Optional[np.ndarray] = None
+    labeled_reliable: Optional[np.ndarray] = None
+    low_teacher_uncertainty: Optional[np.ndarray] = None
+
+
+def teacher_context(
+    teacher_probs: np.ndarray,
+    labels: np.ndarray,
+    train_index: np.ndarray,
+    p: float = 40.0,
+    use_reliability: bool = True,
+    score: str = "entropy",
+    labeled_check: str = "teacher",
+) -> TeacherContext:
+    """Precompute the teacher-dependent parts of Algorithm 1 (see
+    :class:`TeacherContext`)."""
+    teacher_probs = np.asarray(teacher_probs)
+    if teacher_probs.ndim != 2:
+        raise ShapeError(f"teacher probs must be 2-D, got shape {teacher_probs.shape}")
+    if labeled_check not in ("teacher", "student"):
+        raise ConfigError(
+            f"labeled_check must be 'teacher' or 'student', got {labeled_check!r}"
+        )
+    labels = np.asarray(labels, dtype=np.int64)
+    train_index = np.asarray(train_index, dtype=np.int64)
+    teacher_pred = teacher_probs.argmax(axis=1)
+
+    labeled_mask = labeled_reliable = low_teacher = None
+    if use_reliability:
+        n = teacher_probs.shape[0]
+        labeled_mask = np.zeros(n, dtype=bool)
+        labeled_mask[train_index] = True
+        if labeled_check == "teacher":
+            labeled_reliable = np.zeros(n, dtype=bool)
+            labeled_reliable[train_index] = teacher_pred[train_index] == labels[train_index]
+        low_teacher = entropy_threshold_mask(
+            uncertainty_score(teacher_probs, score), p, lowest=True
+        )
+    return TeacherContext(
+        teacher_probs=teacher_probs,
+        teacher_pred=teacher_pred,
+        p=p,
+        use_reliability=use_reliability,
+        score=score,
+        labeled_check=labeled_check,
+        labeled_mask=labeled_mask,
+        labeled_reliable=labeled_reliable,
+        low_teacher_uncertainty=low_teacher,
+    )
+
+
 def node_reliability(
     teacher_probs: np.ndarray,
     student_probs: np.ndarray,
@@ -92,6 +161,7 @@ def node_reliability(
     use_reliability: bool = True,
     score: str = "entropy",
     labeled_check: str = "teacher",
+    context: Optional[TeacherContext] = None,
 ) -> ReliabilitySets:
     """One update of Algorithm 1.
 
@@ -119,37 +189,47 @@ def node_reliability(
         follows the literal Algorithm 1 line 4 (``h_e(x_i) = y_i``).  The
         two readings of the paper disagree; both are provided so the
         discrepancy is executable.
+    context:
+        Precomputed teacher-side constants from :func:`teacher_context`.
+        When given it supersedes ``teacher_probs`` and the
+        ``p``/``use_reliability``/``score``/``labeled_check`` arguments;
+        results are identical to passing the raw arguments, just cheaper
+        when the same frozen teacher drives many refreshes.
     """
-    teacher_probs = np.asarray(teacher_probs, dtype=np.float64)
-    student_probs = np.asarray(student_probs, dtype=np.float64)
+    if context is None:
+        context = teacher_context(
+            teacher_probs,
+            labels,
+            train_index,
+            p=p,
+            use_reliability=use_reliability,
+            score=score,
+            labeled_check=labeled_check,
+        )
+    teacher_probs = context.teacher_probs
+    student_probs = np.asarray(student_probs)
     if teacher_probs.shape != student_probs.shape or teacher_probs.ndim != 2:
         raise ShapeError(
             f"teacher/student probs must share shape (n, k), got {teacher_probs.shape} vs {student_probs.shape}"
         )
     n = teacher_probs.shape[0]
-    labels = np.asarray(labels, dtype=np.int64)
-    train_index = np.asarray(train_index, dtype=np.int64)
-
-    if labeled_check not in ("teacher", "student"):
-        raise ConfigError(
-            f"labeled_check must be 'teacher' or 'student', got {labeled_check!r}"
-        )
-    teacher_pred = teacher_probs.argmax(axis=1)
+    teacher_pred = context.teacher_pred
     student_pred = student_probs.argmax(axis=1)
 
-    if use_reliability:
-        labeled_mask = np.zeros(n, dtype=bool)
-        labeled_mask[train_index] = True
+    if context.use_reliability:
+        labeled_mask = context.labeled_mask
 
         # Labeled nodes: reliable iff the checking model is correct.
-        checker = teacher_pred if labeled_check == "teacher" else student_pred
-        reliable = np.zeros(n, dtype=bool)
-        reliable[train_index] = checker[train_index] == labels[train_index]
+        if context.labeled_check == "teacher":
+            reliable = context.labeled_reliable.copy()
+        else:
+            labels = np.asarray(labels, dtype=np.int64)
+            train_index = np.asarray(train_index, dtype=np.int64)
+            reliable = np.zeros(n, dtype=bool)
+            reliable[train_index] = student_pred[train_index] == labels[train_index]
 
         # Unlabeled nodes: lowest-p% teacher uncertainty ...
-        teacher_entropy = uncertainty_score(teacher_probs, score)
-        low_teacher_entropy = entropy_threshold_mask(teacher_entropy, p, lowest=True)
-        reliable |= low_teacher_entropy & ~labeled_mask
+        reliable |= context.low_teacher_uncertainty & ~labeled_mask
         # ... and teacher/student label agreement (Alg. 1 line 8 removes
         # disagreeing nodes from V_r; labeled nodes keep their own rule).
         agree = teacher_pred == student_pred

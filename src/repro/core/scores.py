@@ -18,13 +18,14 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.tensor.functional import entropy
+from repro.tensor.tensor import get_default_dtype
 
 RELIABILITY_SCORES = ("entropy", "margin", "confidence")
 
 
 def uncertainty_score(probs: np.ndarray, score: str = "entropy") -> np.ndarray:
     """Per-row uncertainty of softmax outputs (higher = less certain)."""
-    probs = np.asarray(probs, dtype=np.float64)
+    probs = np.asarray(probs, dtype=get_default_dtype())
     if probs.ndim != 2:
         raise ConfigError(f"probs must be 2-D, got shape {probs.shape}")
     if score == "entropy":

@@ -21,11 +21,13 @@ def available_datasets() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def load_dataset(name: str, **kwargs) -> Graph:
+def load_dataset(name: str, dtype=None, **kwargs) -> Graph:
     """Instantiate a dataset stand-in by name.
 
     Keyword arguments (``seed``, ``scale``, ...) are forwarded to the
-    factory; see :mod:`repro.datasets.citation`.
+    factory; see :mod:`repro.datasets.citation`.  ``dtype`` (e.g.
+    ``"float32"``) casts the graph via :meth:`Graph.astype` after
+    construction, so the random generation is dtype-independent.
     """
     try:
         factory = _FACTORIES[name.lower()]
@@ -33,7 +35,10 @@ def load_dataset(name: str, **kwargs) -> Graph:
         raise DatasetError(
             f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
         ) from None
-    return factory(**kwargs)
+    graph = factory(**kwargs)
+    if dtype is not None:
+        graph = graph.astype(dtype)
+    return graph
 
 
 def register_dataset(name: str, factory: Callable[..., Graph]) -> None:

@@ -6,11 +6,12 @@ each artifact by calling these.
 """
 
 from repro.evaluation import ext_inductive, ext_noise, fig1, fig3, fig6, table2, table3, table4, table5, table6, table7, table8, table9
-from repro.evaluation.common import ExperimentReport, HarnessConfig
+from repro.evaluation.common import ExperimentReport, HarnessConfig, run_over_seeds
 
 __all__ = [
     "HarnessConfig",
     "ExperimentReport",
+    "run_over_seeds",
     "fig1",
     "fig3",
     "ext_noise",

@@ -17,6 +17,7 @@ from repro.evaluation.common import (
     HarnessConfig,
     mean_over_seeds,
     run_bans,
+    run_over_seeds,
     run_rdd,
     run_single_gcn,
 )
@@ -41,13 +42,13 @@ def run(
             for seed in config.seeds
         ]
         gcn = mean_over_seeds(
-            [run_single_gcn(g, config, s).test_accuracy for g, s in zip(graphs, config.seeds)]
+            [r.test_accuracy for r in run_over_seeds(run_single_gcn, graphs, config)]
         )
         bans = mean_over_seeds(
-            [run_bans(g, config, s).ensemble_test_accuracy for g, s in zip(graphs, config.seeds)]
+            [r.ensemble_test_accuracy for r in run_over_seeds(run_bans, graphs, config)]
         )
         rdd = mean_over_seeds(
-            [run_rdd(g, config, s).ensemble_test_accuracy for g, s in zip(graphs, config.seeds)]
+            [r.ensemble_test_accuracy for r in run_over_seeds(run_rdd, graphs, config)]
         )
         report.rows.append(
             {

@@ -18,6 +18,7 @@ from repro.evaluation.common import (
     run_bagging,
     run_bans,
     run_rdd,
+    run_over_seeds,
     run_single_gcn,
     std_over_seeds,
 )
@@ -44,10 +45,10 @@ def run(config: Optional[HarnessConfig] = None, datasets: Sequence[str] = DEFAUL
     )
     for dataset in datasets:
         graphs = load_graphs(config, dataset)
-        gcn = [run_single_gcn(g, config, s).test_accuracy for g, s in zip(graphs, config.seeds)]
-        bagging = [run_bagging(g, config, s) for g, s in zip(graphs, config.seeds)]
-        bans = [run_bans(g, config, s) for g, s in zip(graphs, config.seeds)]
-        rdd = [run_rdd(g, config, s) for g, s in zip(graphs, config.seeds)]
+        gcn = [r.test_accuracy for r in run_over_seeds(run_single_gcn, graphs, config)]
+        bagging = run_over_seeds(run_bagging, graphs, config)
+        bans = run_over_seeds(run_bans, graphs, config)
+        rdd = run_over_seeds(run_rdd, graphs, config)
 
         per_method = {
             "Single GCN": gcn,

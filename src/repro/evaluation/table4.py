@@ -18,6 +18,7 @@ from repro.evaluation.common import (
     HarnessConfig,
     load_graphs,
     mean_over_seeds,
+    run_over_seeds,
     run_rdd,
     run_single_gcn,
 )
@@ -87,9 +88,9 @@ def run(config: Optional[HarnessConfig] = None, datasets: Sequence[str] = DEFAUL
             planetoid_accs.append(planetoid.fit(graph, seed=seed).test_accuracy)
             for name, factory in model_factories.items():
                 model_accs[name].append(trainer.fit(factory(graph, seed), graph).test_accuracy)
-        gcn_accs = [run_single_gcn(g, config, s).test_accuracy for g, s in zip(graphs, config.seeds)]
+        gcn_accs = [r.test_accuracy for r in run_over_seeds(run_single_gcn, graphs, config)]
         rdd_accs = [
-            run_rdd(g, config, s).last_base_test_accuracy for g, s in zip(graphs, config.seeds)
+            r.last_base_test_accuracy for r in run_over_seeds(run_rdd, graphs, config)
         ]
 
         measured = {"LP": mean_over_seeds(lp_accs), "Planetoid": mean_over_seeds(planetoid_accs)}

@@ -16,6 +16,7 @@ from repro.evaluation.common import (
     HarnessConfig,
     load_graphs,
     mean_over_seeds,
+    run_over_seeds,
     run_rdd,
     run_single_gcn,
 )
@@ -87,7 +88,7 @@ def run(
         graphs = load_graphs(config, dataset)
         measured = {
             "GCN": mean_over_seeds(
-                [run_single_gcn(g, config, s).test_accuracy for g, s in zip(graphs, config.seeds)]
+                [r.test_accuracy for r in run_over_seeds(run_single_gcn, graphs, config)]
             )
         }
         for name, factory in factories.items():
@@ -97,7 +98,7 @@ def run(
             ]
             measured[name] = mean_over_seeds(accs)
         measured["RDD(Single)"] = mean_over_seeds(
-            [run_rdd(g, config, s).last_base_test_accuracy for g, s in zip(graphs, config.seeds)]
+            [r.last_base_test_accuracy for r in run_over_seeds(run_rdd, graphs, config)]
         )
         for method, acc in measured.items():
             report.rows.append(

@@ -16,6 +16,7 @@ from repro.evaluation.common import (
     mean_over_seeds,
     run_bagging,
     run_bans,
+    run_over_seeds,
     run_rdd,
 )
 
@@ -38,9 +39,9 @@ def run(config: Optional[HarnessConfig] = None, dataset: str = "cora") -> Experi
     )
     graphs = load_graphs(config, dataset)
     runs = {
-        "Bagging": [run_bagging(g, config, s) for g, s in zip(graphs, config.seeds)],
-        "BANs": [run_bans(g, config, s) for g, s in zip(graphs, config.seeds)],
-        "RDD(Ensemble)": [run_rdd(g, config, s) for g, s in zip(graphs, config.seeds)],
+        "Bagging": run_over_seeds(run_bagging, graphs, config),
+        "BANs": run_over_seeds(run_bans, graphs, config),
+        "RDD(Ensemble)": run_over_seeds(run_rdd, graphs, config),
     }
     for method, results in runs.items():
         average = mean_over_seeds([r.average_base_accuracy for r in results])

@@ -16,7 +16,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.evaluation.common import ExperimentReport, HarnessConfig, load_graphs, mean_over_seeds, run_rdd
+from repro.evaluation.common import (
+    ExperimentReport,
+    HarnessConfig,
+    load_graphs,
+    mean_over_seeds,
+    run_over_seeds,
+    run_rdd,
+)
 
 PAPER_TABLE8 = {
     "cora": {"No L2": 84.4, "No Lreg": 85.2, "WNR": 84.9, "WER": 85.5, "WKR": 84.8, "WEW": 85.3, "RDD": 86.1},
@@ -50,8 +57,8 @@ def run(config: Optional[HarnessConfig] = None, datasets: Sequence[str] = DEFAUL
         measured = {}
         for name, overrides in ABLATIONS.items():
             accs = [
-                run_rdd(g, config, s, **overrides).ensemble_test_accuracy
-                for g, s in zip(graphs, config.seeds)
+                r.ensemble_test_accuracy
+                for r in run_over_seeds(run_rdd, graphs, config, **overrides)
             ]
             measured[name] = mean_over_seeds(accs)
         full_acc = measured["RDD"]

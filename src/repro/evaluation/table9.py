@@ -23,6 +23,7 @@ from repro.evaluation.common import (
     mean_over_seeds,
     run_bagging,
     run_bans,
+    run_over_seeds,
     run_rdd,
     run_single_gcn,
 )
@@ -47,7 +48,7 @@ def run(
     config = config or HarnessConfig()
     graphs = load_graphs(config, dataset)
     gcn_acc = mean_over_seeds(
-        [run_single_gcn(g, config, s).test_accuracy for g, s in zip(graphs, config.seeds)]
+        [r.test_accuracy for r in run_over_seeds(run_single_gcn, graphs, config)]
     )
     target = gcn_acc + target_margin
 
@@ -60,7 +61,7 @@ def run(
     )
     runners = {"Bagging": run_bagging, "BANs": run_bans, "RDD(Ensemble)": run_rdd}
     for method, runner in runners.items():
-        results = [runner(g, config, s) for g, s in zip(graphs, config.seeds)]
+        results = run_over_seeds(runner, graphs, config)
         avg_time = mean_over_seeds([r.average_model_time_s for r in results])
         reached = [r.models_to_reach(target) for r in results]
         # Count a miss as needing the full ensemble (conservative).

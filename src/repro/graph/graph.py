@@ -184,6 +184,33 @@ class Graph:
         clone._pagerank = self._pagerank
         return clone
 
+    def astype(self, dtype) -> "Graph":
+        """A copy of this graph with features (and cached normalized
+        adjacency) cast to ``dtype``.
+
+        The raw adjacency keeps float64 structure values (they are binary
+        indicators); the *normalized* adjacency — the matrix that actually
+        multiplies activations in every forward pass — is cast, so GCN
+        compute runs fully in ``dtype``.  A no-op returns ``self``.
+        """
+        dtype = np.dtype(dtype)
+        normalized = self.normalized_adjacency()
+        if self.features.dtype == dtype and normalized.dtype == dtype:
+            return self
+        clone = Graph(
+            self.adjacency,
+            self.features.astype(dtype),
+            self.labels,
+            self.train_index,
+            self.val_index,
+            self.test_index,
+            name=self.name,
+        )
+        clone._normalized = normalized.astype(dtype)
+        clone._edges = self._edges
+        clone._pagerank = self._pagerank
+        return clone
+
     def __repr__(self) -> str:
         return (
             f"Graph(name={self.name!r}, nodes={self.num_nodes}, edges={self.num_edges}, "

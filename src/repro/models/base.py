@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.nn.module import Module
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, no_grad
 
 
 class GraphModel(Module):
@@ -24,11 +24,13 @@ class GraphModel(Module):
     # Inference conveniences (no autodiff tape)
     # ------------------------------------------------------------------
     def predict_logits(self, graph: Graph) -> np.ndarray:
-        """Evaluation-mode logits as a plain ndarray."""
+        """Evaluation-mode logits as a plain ndarray (no tape is built)."""
         was_training = self.training
-        self.eval()
+        if was_training:  # already-eval models skip the recursive switch
+            self.eval()
         try:
-            logits = self.forward(graph).data
+            with no_grad():
+                logits = self.forward(graph).data
         finally:
             if was_training:
                 self.train()

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.tensor import get_default_dtype
+
 
 def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
     """Glorot (Xavier) uniform init for a ``(fan_in, fan_out)`` weight."""
@@ -29,5 +31,5 @@ def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarra
 
 
 def zeros(shape) -> np.ndarray:
-    """All-zeros array (bias init)."""
-    return np.zeros(shape, dtype=np.float64)
+    """All-zeros array (bias init) in the active compute dtype."""
+    return np.zeros(shape, dtype=get_default_dtype())

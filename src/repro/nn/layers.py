@@ -17,8 +17,8 @@ import scipy.sparse as sp
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import ops
-from repro.tensor.sparse import sparse_feature_matmul, spmm
-from repro.tensor.tensor import Tensor, as_tensor
+from repro.tensor.sparse import sparse_dense_matmul, sparse_feature_matmul, spmm
+from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled
 
 FeatureInput = Union[Tensor, np.ndarray, sp.spmatrix]
 
@@ -28,6 +28,24 @@ def _feature_matmul(features: FeatureInput, weight: Parameter) -> Tensor:
     if sp.issparse(features):
         return sparse_feature_matmul(features, weight)
     return ops.matmul(as_tensor(features), weight)
+
+
+def _raw_data(x: FeatureInput):
+    """Unwrap a dense/sparse feature input to its raw array for inference."""
+    return x.data if isinstance(x, Tensor) else x
+
+
+def _affine_inference(x: FeatureInput, weight: Parameter, bias) -> np.ndarray:
+    """Raw-numpy ``x @ W (+ b)``; the product is fresh so the bias add is
+    safe to do in place (bitwise identical to the ops path)."""
+    data = _raw_data(x)
+    if sp.issparse(data):
+        out = sparse_dense_matmul(data.tocsr(), weight.data)
+    else:
+        out = data @ weight.data
+    if bias is not None:
+        out += bias.data
+    return out
 
 
 class Linear(Module):
@@ -41,6 +59,8 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features), name="bias") if bias else None
 
     def forward(self, x: FeatureInput) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor._from_array(_affine_inference(x, self.weight, self.bias))
         out = _feature_matmul(x, self.weight)
         if self.bias is not None:
             out = ops.add(out, self.bias)
@@ -58,6 +78,16 @@ class GraphConvolution(Module):
         self.bias = Parameter(init.zeros(out_features), name="bias") if bias else None
 
     def forward(self, adjacency: sp.spmatrix, x: FeatureInput) -> Tensor:
+        if not is_grad_enabled():
+            data = _raw_data(x)
+            if sp.issparse(data):
+                support = sparse_dense_matmul(data.tocsr(), self.weight.data)
+            else:
+                support = data @ self.weight.data
+            out = sparse_dense_matmul(adjacency.tocsr(), support)
+            if self.bias is not None:
+                out += self.bias.data
+            return Tensor._from_array(out)
         support = _feature_matmul(x, self.weight)
         out = spmm(adjacency, support)
         if self.bias is not None:
@@ -140,8 +170,23 @@ class Dropout(Module):
             if not self.training or self.rate <= 0.0:
                 return x  # pass sparse features through untouched
             # Sparse dropout: mask the stored nonzeros and rescale.
-            x = x.tocoo(copy=True)
             keep = 1.0 - self.rate
+            if sp.isspmatrix_csr(x):
+                # Masking keeps the sparsity structure, so reuse the
+                # index arrays instead of round-tripping through COO
+                # (same storage order, so the rng stream and the masked
+                # values are bitwise identical to the COO path).  Draws
+                # match the value dtype; float64 keeps the seed stream.
+                if x.data.dtype == np.float32:
+                    mask = self.rng.random(x.nnz, dtype=np.float32) < keep
+                else:
+                    mask = self.rng.random(x.nnz) < keep
+                return sp.csr_matrix(
+                    (x.data * mask / keep, x.indices, x.indptr),
+                    shape=x.shape,
+                    copy=False,
+                )
+            x = x.tocoo(copy=True)
             mask = self.rng.random(x.nnz) < keep
             x.data = x.data * mask / keep
             return x.tocsr()

@@ -2,11 +2,18 @@
 
 Both support decoupled L2 weight decay, which is how the paper's
 ``l2 regularization factor`` (5e-4 on the citation networks) is applied.
+
+The update rules are written against per-parameter scratch buffers so a
+step allocates nothing after the first call.  Every in-place expression
+keeps the operand order and associativity of the textbook formulation,
+so the trajectories are bitwise identical to the allocating version
+(IEEE-754 addition and multiplication are commutative bitwise; only
+reassociation would change results, and none is performed).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -20,6 +27,15 @@ class Optimizer:
         self.parameters: List[Parameter] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
+        self._scratch: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _buffers(self, param: Parameter) -> Tuple[np.ndarray, np.ndarray]:
+        """Two reusable work arrays shaped like ``param`` (lazily built)."""
+        buffers = self._scratch.get(id(param))
+        if buffers is None:
+            buffers = (np.empty_like(param.data), np.empty_like(param.data))
+            self._scratch[id(param)] = buffers
+        return buffers
 
     def zero_grad(self) -> None:
         """Clear gradients on all managed parameters."""
@@ -53,14 +69,21 @@ class SGD(Optimizer):
             if param.grad is None:
                 continue
             grad = param.grad
+            update, _ = self._buffers(param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # grad + wd*p, written as wd*p + grad (addition commutes bitwise).
+                np.multiply(param.data, self.weight_decay, out=update)
+                update += grad
+                grad = update
             if self.momentum:
-                velocity = self._velocity.setdefault(id(param), np.zeros_like(param.data))
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = self._velocity[id(param)] = np.zeros_like(param.data)
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data -= self.lr * grad
+            np.multiply(grad, self.lr, out=update)
+            param.data -= update
 
 
 class Adam(Optimizer):
@@ -98,14 +121,34 @@ class Adam(Optimizer):
             if param.grad is None:
                 continue
             grad = param.grad
+            buf_a, buf_b = self._buffers(param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            m = self._first_moment.setdefault(id(param), np.zeros_like(param.data))
-            v = self._second_moment.setdefault(id(param), np.zeros_like(param.data))
+                # grad + wd*p, written as wd*p + grad (addition commutes bitwise).
+                np.multiply(param.data, self.weight_decay, out=buf_a)
+                buf_a += grad
+                grad = buf_a
+            m = self._first_moment.get(id(param))
+            if m is None:
+                m = self._first_moment[id(param)] = np.zeros_like(param.data)
+            v = self._second_moment.get(id(param))
+            if v is None:
+                v = self._second_moment[id(param)] = np.zeros_like(param.data)
+            # m = beta1*m + (1-beta1)*grad
+            np.multiply(grad, 1.0 - self.beta1, out=buf_b)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += buf_b
+            # v = beta2*v + ((1-beta2)*grad)*grad  — same left-association
+            # as the allocating `(1-beta2) * grad * grad`.
+            np.multiply(grad, 1.0 - self.beta2, out=buf_b)
+            buf_b *= grad
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += buf_b
+            # update = (lr * (m/bias1)) / (sqrt(v/bias2) + eps); grad (an
+            # alias of buf_a when decayed) is dead past this point.
+            np.divide(m, bias1, out=buf_a)
+            np.multiply(buf_a, self.lr, out=buf_a)
+            np.divide(v, bias2, out=buf_b)
+            np.sqrt(buf_b, out=buf_b)
+            buf_b += self.eps
+            buf_a /= buf_b
+            param.data -= buf_a

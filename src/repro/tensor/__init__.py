@@ -13,7 +13,17 @@ Public surface:
 from repro.tensor import functional, ops
 from repro.tensor.gradcheck import check_gradients, numerical_gradient
 from repro.tensor.sparse import sparse_feature_matmul, spmm
-from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
+from repro.tensor.tensor import (
+    Tensor,
+    as_tensor,
+    default_dtype,
+    enable_grad,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    unbroadcast,
+)
 
 __all__ = [
     "Tensor",
@@ -25,4 +35,10 @@ __all__ = [
     "sparse_feature_matmul",
     "check_gradients",
     "numerical_gradient",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
 ]

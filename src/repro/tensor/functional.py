@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.tensor import ops
-from repro.tensor.tensor import Tensor, as_tensor
+from repro.tensor.tensor import Tensor, as_tensor, get_default_dtype
 
 _EPS = 1e-12
 
@@ -40,6 +40,23 @@ def cross_entropy(log_probs: Tensor, labels: np.ndarray) -> Tensor:
     return -ops.mean(picked)
 
 
+def masked_cross_entropy_logits(logits: Tensor, labels: np.ndarray, index: np.ndarray) -> Tensor:
+    """Cross entropy on ``index`` rows of raw ``logits``.
+
+    Equivalent to ``masked_cross_entropy(log_softmax(logits), ...)`` but
+    applies the log-softmax *after* row selection: on sparsely labeled
+    graphs that shrinks the normalization from all nodes to the labeled
+    handful.  Because log-softmax is row-wise and the index rows are
+    unique, both the loss and the gradient reaching ``logits`` are
+    bitwise identical to the full-matrix formulation.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if index.size == 0:
+        return Tensor(0.0)
+    rows = ops.log_softmax(ops.gather(logits, index), axis=1)
+    return cross_entropy(rows, np.asarray(labels)[index])
+
+
 def masked_cross_entropy(log_probs: Tensor, labels: np.ndarray, index: np.ndarray) -> Tensor:
     """Cross entropy evaluated only on the rows listed in ``index``."""
     index = np.asarray(index, dtype=np.int64)
@@ -56,7 +73,7 @@ def embedding_mse(student: Tensor, teacher: np.ndarray, index: Optional[np.ndarr
     rows in ``index`` (all rows when None).  The teacher side is a constant
     ndarray — gradients only flow into the student.
     """
-    teacher = np.asarray(teacher, dtype=np.float64)
+    teacher = np.asarray(teacher, dtype=get_default_dtype())
     if index is not None:
         index = np.asarray(index, dtype=np.int64)
         if index.size == 0:
@@ -96,7 +113,7 @@ def kl_divergence(student_log_probs: Tensor, teacher_probs: np.ndarray) -> Tenso
     the cross entropy ``-sum_k teacher_k * log student_k`` averaged over rows,
     which is the standard knowledge-distillation objective.
     """
-    teacher_probs = np.asarray(teacher_probs, dtype=np.float64)
+    teacher_probs = np.asarray(teacher_probs, dtype=get_default_dtype())
     if student_log_probs.shape != teacher_probs.shape:
         raise ShapeError(
             f"kl_divergence shapes mismatch: {student_log_probs.shape} vs {teacher_probs.shape}"
@@ -111,7 +128,7 @@ def entropy(probs: np.ndarray, axis: int = -1) -> np.ndarray:
     Used for reliability scoring (Alg. 1) and ensemble weighting (Eq. 11);
     these consume detached predictions, so no autodiff is needed.
     """
-    probs = np.asarray(probs, dtype=np.float64)
+    probs = np.asarray(probs, dtype=get_default_dtype())
     clipped = np.clip(probs, _EPS, 1.0)
     return -(probs * np.log(clipped)).sum(axis=axis)
 

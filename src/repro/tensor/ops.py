@@ -416,7 +416,13 @@ def dropout(a: Tensor, rate: float, rng: np.random.Generator, training: bool = T
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    mask = (rng.random(a.shape) < keep) / keep
+    # Draw and hold the mask in the activation dtype: float32 draws halve
+    # the rng cost, and a float64 mask would silently promote float32
+    # activations.  The float64 path is bitwise identical to the plain
+    # ``(rng.random(shape) < keep) / keep`` formulation.
+    dtype = a.data.dtype if a.data.dtype == np.float32 else np.float64
+    draws = rng.random(a.shape, dtype=dtype) if dtype == np.float32 else rng.random(a.shape)
+    mask = (draws < keep).astype(dtype, copy=False) / keep
     out_data = a.data * mask
 
     def backward(grad: np.ndarray) -> None:

@@ -12,7 +12,69 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ShapeError
-from repro.tensor.tensor import Tensor, as_tensor
+from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled
+
+try:  # raw CSR/CSC kernels (same ones scipy's @ dispatches to)
+    from scipy.sparse import _sparsetools
+except ImportError:  # pragma: no cover - scipy always ships it today
+    _sparsetools = None
+
+
+def sparse_dense_matmul(matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+    """``matrix @ dense`` through the raw CSR/CSC kernel.
+
+    The hot paths multiply the same sparse matrix by a small dense block
+    thousands of times; scipy's operator dispatch (format checks, index
+    upcasting, container wrapping) costs as much as the kernel for these
+    sizes.  This calls the identical ``csr_matvecs``/``csc_matvecs``
+    routine directly — same accumulation order, so results are bitwise
+    equal to ``matrix @ dense`` — and falls back to the operator for
+    anything it cannot handle (dtype mismatch, non-contiguous operand,
+    other formats).
+    """
+    if (
+        _sparsetools is not None
+        and dense.ndim == 2
+        and matrix.dtype == dense.dtype
+        and dense.flags.c_contiguous
+    ):
+        rows, cols = matrix.shape
+        if sp.isspmatrix_csr(matrix):
+            out = np.zeros((rows, dense.shape[1]), dtype=dense.dtype)
+            _sparsetools.csr_matvecs(
+                rows, cols, dense.shape[1],
+                matrix.indptr, matrix.indices, matrix.data,
+                dense.ravel(), out.ravel(),
+            )
+            return out
+        if sp.isspmatrix_csc(matrix):
+            out = np.zeros((rows, dense.shape[1]), dtype=dense.dtype)
+            _sparsetools.csc_matvecs(
+                rows, cols, dense.shape[1],
+                matrix.indptr, matrix.indices, matrix.data,
+                dense.ravel(), out.ravel(),
+            )
+            return out
+    return np.asarray(matrix @ dense)
+
+
+def cached_transpose(matrix: sp.spmatrix) -> sp.spmatrix:
+    """``matrix.T``, memoized on the matrix object.
+
+    Backward passes transpose the same constant adjacency every epoch;
+    scipy's ``.T`` rebuilds a container (with index checks) each time,
+    which costs as much as a small product.  The transpose shares the
+    original's data arrays, so the cache is only valid because graph
+    matrices are never mutated in place anywhere in this codebase.
+    """
+    cached = getattr(matrix, "_repro_transpose", None)
+    if cached is None:
+        cached = matrix.T
+        try:
+            matrix._repro_transpose = cached
+        except AttributeError:  # exotic sparse types without __dict__
+            pass
+    return cached
 
 
 def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
@@ -33,11 +95,13 @@ def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     if matrix.shape[1] != dense.shape[0]:
         raise ShapeError(f"spmm shape mismatch: {matrix.shape} @ {dense.shape}")
     csr = matrix.tocsr()
-    out_data = np.asarray(csr @ dense.data)
+    out_data = sparse_dense_matmul(csr, dense.data)
+    if not is_grad_enabled():
+        return Tensor._from_array(out_data)
 
     def backward(grad: np.ndarray) -> None:
         if dense.requires_grad:
-            dense._accumulate(np.asarray(csr.T @ grad))
+            dense._accumulate(sparse_dense_matmul(cached_transpose(csr), grad))
 
     return Tensor._make(out_data, (dense,), backward)
 
@@ -56,10 +120,12 @@ def sparse_feature_matmul(features: sp.spmatrix, weight: Tensor) -> Tensor:
     if weight.ndim != 2 or features.shape[1] != weight.shape[0]:
         raise ShapeError(f"shape mismatch: {features.shape} @ {weight.shape}")
     csr = features.tocsr()
-    out_data = np.asarray(csr @ weight.data)
+    out_data = sparse_dense_matmul(csr, weight.data)
+    if not is_grad_enabled():
+        return Tensor._from_array(out_data)
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
-            weight._accumulate(np.asarray(csr.T @ grad))
+            weight._accumulate(sparse_dense_matmul(cached_transpose(csr), grad))
 
     return Tensor._make(out_data, (weight,), backward)

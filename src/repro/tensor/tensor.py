@@ -29,9 +29,108 @@ from repro.errors import ShapeError
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+# ----------------------------------------------------------------------
+# Global autograd / dtype modes
+# ----------------------------------------------------------------------
+# Whether newly created op outputs are wired into the tape.  Toggled by
+# the ``no_grad`` / ``enable_grad`` context managers; inference paths
+# (``predict_logits`` etc.) run with this off so evaluation forwards pay
+# no tape-construction or closure-retention cost.
+_GRAD_ENABLED = True
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+# Dtype used when coercing raw values into tensors (parameter init,
+# constants, loss targets).  float64 is the default so gradient checks
+# keep full precision; float32 is an opt-in for bandwidth-bound runs.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def is_grad_enabled() -> bool:
+    """Whether op outputs are currently recorded on the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager that disables tape construction.
+
+    Inside the context every operation returns a plain (grad-free) tensor:
+    no parents, no backward closures, no graph retention.  Numerical
+    results are bitwise identical to the recorded path.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+class enable_grad:
+    """Context manager that re-enables tape construction inside ``no_grad``."""
+
+    def __enter__(self) -> "enable_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+def _normalize_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(f"compute dtype must be float32 or float64, got {resolved}")
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are coerced to (float64 unless overridden)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default compute dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _normalize_dtype(dtype)
+    return previous
+
+
+class default_dtype:
+    """Context manager scoping the default compute dtype.
+
+    ``default_dtype(None)`` is a no-op, which lets callers thread an
+    optional dtype knob without branching.
+    """
+
+    def __init__(self, dtype=None):
+        self._dtype = None if dtype is None else _normalize_dtype(dtype)
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = _DEFAULT_DTYPE
+        if self._dtype is not None:
+            set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_default_dtype(self._previous)
+        return False
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     """Coerce ``value`` to a float ndarray without copying when possible."""
+    if dtype is None:
+        dtype = _DEFAULT_DTYPE
     if isinstance(value, np.ndarray):
         if value.dtype == dtype:
             return value
@@ -122,15 +221,36 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing this data but cut from the tape."""
-        return Tensor(self.data, requires_grad=False, name=self.name)
+        out = Tensor._from_array(self.data)
+        out.name = self.name
+        return out
 
     def copy(self) -> "Tensor":
         """Return a tape-free deep copy of this tensor."""
-        return Tensor(self.data.copy(), requires_grad=False, name=self.name)
+        out = Tensor._from_array(self.data.copy())
+        out.name = self.name
+        return out
 
     # ------------------------------------------------------------------
     # Tape construction
     # ------------------------------------------------------------------
+    @staticmethod
+    def _from_array(data) -> "Tensor":
+        """Fast constructor: wrap an ndarray without dtype coercion.
+
+        Op outputs already carry the right (dtype-propagated) ndarray, so
+        the ``_as_array`` round trip of ``__init__`` is pure overhead on
+        the hot path.  Non-ndarray values are wrapped as-is.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        out.name = ""
+        return out
+
     @staticmethod
     def _make(
         data: np.ndarray,
@@ -139,14 +259,18 @@ class Tensor:
     ) -> "Tensor":
         """Create an output tensor wired into the tape.
 
-        The output requires grad iff any parent does; otherwise the
-        backward closure is dropped so unused graphs are garbage collected.
+        The output requires grad iff grad mode is on and any parent does;
+        otherwise the backward closure is dropped so unused graphs are
+        garbage collected (and, under ``no_grad``, never retained at all).
         """
-        out = Tensor(data)
-        if any(p.requires_grad for p in parents):
-            out.requires_grad = True
-            out._parents = parents
-            out._backward = backward
+        out = Tensor._from_array(data)
+        if _GRAD_ENABLED:
+            for parent in parents:
+                if parent.requires_grad:
+                    out.requires_grad = True
+                    out._parents = parents
+                    out._backward = backward
+                    break
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:

@@ -1,6 +1,7 @@
 """Training loop, metrics, seeding, and result records."""
 
 from repro.training.metrics import confusion_matrix, macro_f1, split_accuracies
+from repro.training.parallel import default_workers, parallel_map, spawn_seeds
 from repro.training.records import EnsembleResult, TrainResult
 from repro.training.seed import make_rng, spawn_rngs
 from repro.training.trainer import Trainer, supervised_loss
@@ -16,6 +17,9 @@ __all__ = [
     "EnsembleResult",
     "make_rng",
     "spawn_rngs",
+    "parallel_map",
+    "spawn_seeds",
+    "default_workers",
     "split_accuracies",
     "confusion_matrix",
     "macro_f1",

@@ -1,0 +1,154 @@
+"""Process-pool execution for embarrassingly parallel training work.
+
+Harness seed loops, Bagging base models, and grid-search cells are
+independent full training runs: no shared mutable state, deterministic
+given their own seed/rng.  :func:`parallel_map` fans such tasks out over
+a process pool while guaranteeing:
+
+* **order preservation** — results come back in task order, so seed
+  averaging and best-cell selection are identical to the serial loop;
+* **serial equivalence** — ``workers=1`` runs in-process with no pool,
+  executor, or pickling involved, bit-identical to the pre-parallel code;
+* **graceful degradation** — tasks that cannot be pickled (e.g. lambda
+  model factories) silently fall back to the serial path instead of
+  crashing, as does a broken/unavailable pool.
+
+Workers are spawned with the ``fork`` start method where available so
+graphs and configs are inherited copy-on-write instead of re-pickled per
+task.  Large read-only inputs (graphs, ensembles) should ride the fork
+via the ``shared`` payload — pushing megabytes of features through the
+task pipe costs more than the training it parallelizes.  Each task runs
+the same pure function on its own arguments; child processes never
+mutate parent state, so a serial re-run after a pool failure is safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cores() -> int:
+    """CPU cores this process may run on (affinity-aware, min 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (``available_cores``)."""
+    return available_cores()
+
+
+def spawn_seeds(seed: int, count: int) -> List[int]:
+    """``count`` independent integer seeds derived from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the derived
+    streams are statistically independent and identical regardless of
+    which process consumes them — the contract that makes parallel and
+    serial execution produce the same models.
+    """
+    return [int(child.generate_state(1)[0]) for child in np.random.SeedSequence(seed).spawn(count)]
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+# Read-only payload inherited by forked workers (see parallel_map).  Set
+# in the parent before the pool forks; never mutated by children.
+_SHARED = None
+
+
+def get_shared():
+    """The ``shared`` payload of the enclosing :func:`parallel_map` call.
+
+    Task functions use this to reach large read-only inputs (graphs,
+    ensembles) that ride into forked workers as copy-on-write memory
+    instead of being pickled through the task pipe.
+    """
+    return _SHARED
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    tasks: Iterable[T],
+    workers: Optional[int] = 1,
+    chunksize: int = 1,
+    shared=None,
+) -> List[R]:
+    """Apply ``fn`` to every task, optionally across worker processes.
+
+    ``workers <= 1`` (or a single task) runs the plain serial loop —
+    the exact code path the repo had before parallelism existed.  With
+    ``workers > 1`` the tasks are distributed over a process pool and the
+    results returned in task order.  Unpicklable work falls back to the
+    serial loop with a warning rather than failing.
+
+    ``shared`` is made available to tasks via :func:`get_shared` for the
+    duration of the call.  Keep per-task tuples small (indices, seeds,
+    configs) and put anything megabyte-sized in ``shared``: forked
+    workers inherit it for free, while task arguments pay pickle +
+    pipe-transfer per worker.
+    """
+    global _SHARED
+    items: List[T] = list(tasks)
+    previous_shared = _SHARED
+    _SHARED = shared
+    try:
+        if workers is None or workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+
+        if not (_picklable(fn) and _picklable(items)):
+            warnings.warn(
+                "parallel_map: task is not picklable; running serially "
+                "(use module-level functions to enable process parallelism)",
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" not in methods and shared is not None:
+            # Spawned workers re-import modules and would see _SHARED=None.
+            warnings.warn(
+                "parallel_map: shared payload requires fork-based workers; "
+                "running serially",
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        # Cap the pool at the cores we may actually run on: these tasks
+        # are CPU-bound, so oversubscription only buys scheduler thrash.
+        pool_size = min(int(workers), len(items), available_cores())
+        if pool_size <= 1:
+            # A one-worker pool is the serial loop plus pickling overhead.
+            return [fn(item) for item in items]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=context
+            ) as pool:
+                return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        except Exception as error:  # pool died (OOM, missing semaphores, ...)
+            warnings.warn(
+                f"parallel_map: process pool failed ({type(error).__name__}: {error}); "
+                "re-running serially",
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+    finally:
+        _SHARED = previous_shared

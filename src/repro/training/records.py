@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 
 @dataclass
 class TrainResult:
@@ -17,6 +19,10 @@ class TrainResult:
     best_epoch: int
     wall_time_s: float
     history: List[Dict[str, float]] = field(default_factory=list)
+    # Best-checkpoint eval-mode logits over all nodes.  Callers that need
+    # predictions after training (ensembling, reporting) reuse these
+    # instead of paying another full-graph forward.
+    predictions: Optional[np.ndarray] = None
 
     def summary(self) -> str:
         return (

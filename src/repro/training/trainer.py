@@ -8,6 +8,7 @@ inject their extra objective terms while reusing the same loop.
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Callable, Optional
 
@@ -16,13 +17,35 @@ from repro.graph.graph import Graph
 from repro.models.base import GraphModel
 from repro.nn.optim import Adam
 from repro.nn.schedules import EarlyStopping
-from repro.tensor import ops
-from repro.tensor.functional import accuracy, masked_cross_entropy
+from repro.tensor.functional import accuracy, masked_cross_entropy_logits
 from repro.tensor.tensor import Tensor
 from repro.training.records import TrainResult
 
 # Signature: loss_fn(model, logits, epoch) -> scalar Tensor.
 LossFn = Callable[[GraphModel, Tensor, int], Tensor]
+
+
+def _callback_wants_logits(callback: Callable) -> bool:
+    """Whether an epoch callback accepts a third (eval-logits) argument.
+
+    Legacy callbacks use ``(epoch, model)``; newer ones take
+    ``(epoch, model, eval_logits)`` so they can share the trainer's
+    eval-mode forward instead of running their own.
+    """
+    try:
+        params = inspect.signature(callback).parameters.values()
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for param in params:
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 3
 
 
 class Trainer:
@@ -49,6 +72,7 @@ class Trainer:
         weight_decay: float = 5e-4,
         record_history: bool = False,
         min_epochs: Optional[int] = None,
+        share_eval_forward: bool = True,
     ):
         if max_epochs < 1:
             raise TrainingError(f"max_epochs must be >= 1, got {max_epochs}")
@@ -60,6 +84,11 @@ class Trainer:
         # Early stopping only arms after a warmup: small validation sets
         # plateau by chance in the first noisy epochs.
         self.min_epochs = min_epochs if min_epochs is not None else max_epochs // 2
+        # When True, logits-accepting epoch callbacks receive the eval
+        # forward already computed for validation, so callback + val share
+        # one forward per epoch.  False reproduces the legacy schedule
+        # where the callback runs its own eval forward.
+        self.share_eval_forward = share_eval_forward
 
     def fit(
         self,
@@ -76,8 +105,14 @@ class Trainer:
             Custom objective; defaults to cross entropy on the training
             split.  Receives ``(model, logits, epoch)``.
         epoch_callback:
-            Invoked as ``epoch_callback(epoch, model)`` before each epoch's
-            forward pass — RDD uses it to refresh reliability sets.
+            Invoked before each epoch's forward pass — RDD uses it to
+            refresh reliability sets.  Two signatures are supported:
+            ``(epoch, model)`` (legacy) and ``(epoch, model, eval_logits)``,
+            where ``eval_logits`` are the current eval-mode logits.  With
+            ``share_eval_forward`` (the default) those logits are the ones
+            the trainer already computed for last epoch's validation pass —
+            the model has not changed in between, so the callback gets them
+            for free instead of running a duplicate forward.
         """
         start = time.perf_counter()
         if loss_fn is None:
@@ -86,12 +121,22 @@ class Trainer:
         stopper = EarlyStopping(patience=self.patience)
         best_state = model.state_dict()
         history = []
+        wants_logits = epoch_callback is not None and _callback_wants_logits(epoch_callback)
+        share_logits = wants_logits and self.share_eval_forward
+        eval_logits = None
 
         epochs_run = 0
         for epoch in range(self.max_epochs):
             epochs_run = epoch + 1
             if epoch_callback is not None:
-                epoch_callback(epoch, model)
+                if share_logits:
+                    if eval_logits is None:  # bootstrap forward for epoch 0 only
+                        eval_logits = model.predict_logits(graph)
+                    epoch_callback(epoch, model, eval_logits)
+                elif wants_logits:
+                    epoch_callback(epoch, model, None)
+                else:
+                    epoch_callback(epoch, model)
 
             model.train()
             logits = model(graph)
@@ -100,7 +145,8 @@ class Trainer:
             loss.backward()
             optimizer.step()
 
-            val_acc = accuracy(model.predict_logits(graph), graph.labels, graph.val_index)
+            eval_logits = model.predict_logits(graph)
+            val_acc = accuracy(eval_logits, graph.labels, graph.val_index)
             if self.record_history:
                 history.append({"epoch": epoch, "loss": loss.item(), "val_accuracy": val_acc})
             should_stop = stopper.update(val_acc, epoch)
@@ -120,6 +166,7 @@ class Trainer:
             best_epoch=stopper.best_epoch,
             wall_time_s=wall,
             history=history,
+            predictions=predictions,
         )
 
 
@@ -128,7 +175,6 @@ def supervised_loss(graph: Graph) -> LossFn:
     split (paper Eq. 3)."""
 
     def loss_fn(model: GraphModel, logits: Tensor, epoch: int) -> Tensor:
-        log_probs = ops.log_softmax(logits, axis=1)
-        return masked_cross_entropy(log_probs, graph.labels, graph.train_index)
+        return masked_cross_entropy_logits(logits, graph.labels, graph.train_index)
 
     return loss_fn

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
+from repro.training.parallel import get_shared, parallel_map
 from repro.training.records import TrainResult
 from repro.training.trainer import Trainer
 
@@ -47,12 +48,23 @@ def grid_cells(grid: Dict[str, Sequence]) -> List[Dict[str, object]]:
     return [dict(zip(names, combo)) for combo in itertools.product(*grid.values())]
 
 
+def _run_grid_cell(task) -> TrainResult:
+    """Train one grid cell (module-level so it pickles to worker
+    processes; factory/graph/trainer arrive via the fork-shared payload)."""
+    seed, i, cell = task
+    factory, graph, trainer = get_shared()
+    rng = np.random.default_rng(seed + 7919 * i)
+    model = factory(graph, rng, **cell)
+    return trainer.fit(model, graph)
+
+
 def grid_search(
     factory: ModelFactory,
     grid: Dict[str, Sequence],
     graph: Graph,
     trainer: Optional[Trainer] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> GridSearchResult:
     """Train one model per grid cell; select by validation accuracy.
 
@@ -67,6 +79,10 @@ def grid_search(
     seed:
         Base seed; each cell derives its own generator so rankings are
         not confounded by shared initialization.
+    workers:
+        Worker processes for cell training.  Cells are independent, and
+        selection scans results in cell order, so any ``workers`` value
+        returns the same best cell as the serial loop.
     """
     trainer = trainer or Trainer()
     cells = grid_cells(grid)
@@ -74,10 +90,13 @@ def grid_search(
     best_params: Dict[str, object] = {}
     trials: List[Dict[str, object]] = []
 
-    for i, cell in enumerate(cells):
-        rng = np.random.default_rng(seed + 7919 * i)
-        model = factory(graph, rng, **cell)
-        result = trainer.fit(model, graph)
+    results = parallel_map(
+        _run_grid_cell,
+        [(seed, i, cell) for i, cell in enumerate(cells)],
+        workers=workers,
+        shared=(factory, graph, trainer),
+    )
+    for cell, result in zip(cells, results):
         trials.append({**cell, "val_accuracy": result.val_accuracy, "test_accuracy": result.test_accuracy})
         if best is None or result.val_accuracy > best.val_accuracy:
             best, best_params = result, dict(cell)

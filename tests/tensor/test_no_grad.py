@@ -1,0 +1,166 @@
+"""Tests for the ``no_grad`` inference mode.
+
+The contract: logits computed under ``no_grad`` are bitwise identical to
+the taped forward, no tape is retained, grad mode is restored on exit,
+and gradcheck (the autodiff ground truth) still passes outside the
+context.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.citation import cora_like
+from repro.models.gcn import GCN
+from repro.tensor import Tensor, check_gradients, ops
+from repro.tensor.sparse import (
+    cached_transpose,
+    sparse_dense_matmul,
+    sparse_feature_matmul,
+    spmm,
+)
+from repro.tensor.tensor import enable_grad, is_grad_enabled, no_grad
+
+RNG = np.random.default_rng(11)
+
+
+def _param(shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestGradMode:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_disables_and_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nesting(self):
+        with no_grad():
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+class TestNoTapeRetained:
+    def test_elementwise_op_builds_no_tape(self):
+        a = _param((3, 4))
+        with no_grad():
+            out = ops.mul(ops.add(a, a), 2.0)
+        assert out._backward is None
+        assert out._parents == ()
+        assert not out.requires_grad
+
+    def test_matmul_builds_no_tape(self):
+        a, b = _param((3, 4)), _param((4, 2))
+        with no_grad():
+            out = ops.matmul(a, b)
+        assert out._backward is None and out._parents == ()
+
+    def test_spmm_builds_no_tape(self):
+        matrix = sp.random(6, 6, density=0.4, random_state=3, format="csr")
+        dense = _param((6, 2))
+        with no_grad():
+            out = spmm(matrix, dense)
+        assert out._backward is None and out._parents == ()
+
+    def test_sparse_feature_matmul_builds_no_tape(self):
+        features = sp.random(5, 8, density=0.4, random_state=4, format="csr")
+        weight = _param((8, 3))
+        with no_grad():
+            out = sparse_feature_matmul(features, weight)
+        assert out._backward is None and out._parents == ()
+
+    def test_backward_raises_on_no_grad_output(self):
+        a = _param((2, 2))
+        with no_grad():
+            out = ops.sum(ops.mul(a, a))
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+
+class TestInferenceParity:
+    def test_model_logits_identical(self):
+        graph = cora_like(seed=0, scale=0.05)
+        model = GCN(graph.num_features, graph.num_classes, np.random.default_rng(0))
+        model.eval()
+        with enable_grad():
+            taped = model(graph).data
+        untaped = model.predict_logits(graph)
+        assert np.array_equal(taped, untaped)
+
+    def test_layered_and_fused_inference_identical(self):
+        # GCN._inference (the fused raw-ndarray path) must match the
+        # generic layer-by-layer no_grad path bitwise.
+        graph = cora_like(seed=1, scale=0.05)
+        model = GCN(graph.num_features, graph.num_classes, np.random.default_rng(1))
+        model.eval()
+        adjacency = graph.normalized_adjacency()
+        with no_grad():
+            h = model.layers[0](adjacency, graph.features)
+            h = model.layers[1](adjacency, ops.relu(h))
+            layered = h.data
+        assert np.array_equal(layered, model._inference(graph))
+        assert np.array_equal(layered, model.predict_logits(graph))
+
+    def test_training_mode_under_no_grad_keeps_dropout(self):
+        # no_grad does not imply eval: a training-mode forward must still
+        # apply dropout (i.e. differ from the eval forward).
+        graph = cora_like(seed=0, scale=0.05)
+        model = GCN(graph.num_features, graph.num_classes, np.random.default_rng(0))
+        eval_logits = model.predict_logits(graph)
+        model.train()
+        with no_grad():
+            train_logits = model(graph).data
+        assert not np.array_equal(eval_logits, train_logits)
+
+
+class TestGradcheckOutsideContext:
+    def test_gradcheck_after_no_grad(self):
+        a = _param((3, 3))
+        with no_grad():
+            ops.sum(ops.mul(a, a))  # build nothing
+        check_gradients(lambda: ops.sum(ops.mul(a, a)), [a])
+
+    def test_spmm_gradcheck_after_no_grad(self):
+        matrix = sp.random(5, 5, density=0.5, random_state=6, format="csr")
+        dense = _param((5, 3))
+        with no_grad():
+            spmm(matrix, dense)
+        check_gradients(lambda: ops.sum(spmm(matrix, dense)), [dense])
+
+
+class TestSparseKernelHelpers:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("fmt", ["csr", "csc"])
+    def test_sparse_dense_matmul_matches_operator(self, dtype, fmt):
+        rng = np.random.default_rng(5)
+        matrix = sp.random(
+            9, 7, density=0.3, random_state=5, format=fmt, dtype=np.float64
+        ).astype(dtype)
+        dense = rng.normal(size=(7, 4)).astype(dtype)
+        out = sparse_dense_matmul(matrix, dense)
+        assert out.dtype == dtype
+        assert np.array_equal(out, np.asarray(matrix @ dense))
+
+    def test_sparse_dense_matmul_dtype_mismatch_falls_back(self):
+        rng = np.random.default_rng(5)
+        matrix = sp.random(4, 4, density=0.5, random_state=5, format="csr")
+        dense = rng.normal(size=(4, 2)).astype(np.float32)
+        out = sparse_dense_matmul(matrix, dense)  # f64 matrix, f32 dense
+        assert np.array_equal(out, np.asarray(matrix @ dense))
+
+    def test_cached_transpose_matches_and_memoizes(self):
+        matrix = sp.random(6, 4, density=0.5, random_state=8, format="csr")
+        first = cached_transpose(matrix)
+        assert (first != matrix.T).nnz == 0
+        assert cached_transpose(matrix) is first

@@ -1,0 +1,122 @@
+"""Tests for the process-pool executor and its determinism contract.
+
+The one hard requirement: ``workers=N`` must produce results equal to
+``workers=1`` (which itself is the pre-parallel serial loop).  The box
+running the suite may expose a single core — the pool clamps itself to
+the available cores and degrades to the serial loop — so the tests that
+need a real pool monkeypatch :func:`available_cores`.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.baselines.bagging import BaggingEnsemble
+from repro.datasets.citation import cora_like
+from repro.evaluation.common import HarnessConfig, load_graphs, run_over_seeds, run_single_gcn
+from repro.training import parallel
+from repro.training.parallel import (
+    available_cores,
+    get_shared,
+    parallel_map,
+    spawn_seeds,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _square(x):
+    return x * x
+
+
+def _shared_lookup(index):
+    return get_shared()[index] * 10
+
+
+@pytest.fixture
+def two_cores(monkeypatch):
+    """Force the pool clamp to allow two workers even on a 1-core box."""
+    monkeypatch.setattr(parallel, "available_cores", lambda: 2)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(0, 4) == spawn_seeds(0, 4)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(7, 8)
+        assert len(set(seeds)) == 8
+
+    def test_differs_by_root(self):
+        assert spawn_seeds(0, 4) != spawn_seeds(1, 4)
+
+
+class TestParallelMap:
+    def test_serial_basics(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_order_preserved_with_pool(self, two_cores):
+        items = list(range(12))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_unpicklable_falls_back_serially(self, two_cores):
+        offset = 5
+        with pytest.warns(UserWarning, match="not picklable"):
+            result = parallel_map(lambda x: x + offset, [1, 2], workers=2)
+        assert result == [6, 7]
+
+    def test_single_worker_pool_runs_serial(self, monkeypatch):
+        # workers > 1 but one usable core: the pool would serialize
+        # anyway, so the executor must not be constructed at all.
+        monkeypatch.setattr(parallel, "available_cores", lambda: 1)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool constructed despite single core")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", boom)
+        assert parallel_map(_square, [1, 2, 3], workers=4) == [1, 4, 9]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_shared_payload_reaches_workers(self, two_cores):
+        payload = [3, 5, 7]
+        result = parallel_map(
+            _shared_lookup, [0, 1, 2], workers=2, shared=payload
+        )
+        assert result == [30, 50, 70]
+
+    def test_shared_payload_serial(self):
+        assert parallel_map(_shared_lookup, [1], workers=1, shared=[4, 8]) == [80]
+
+    def test_shared_cleared_after_call(self):
+        parallel_map(_shared_lookup, [0], workers=1, shared=[1])
+        assert get_shared() is None
+
+
+class TestWorkerDeterminism:
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_run_over_seeds_matches_serial(self, two_cores):
+        budget = dict(
+            scale=0.05, seeds=(0, 1), max_epochs=4, patience=4, hidden=8
+        )
+        serial_cfg = HarnessConfig(workers=1, **budget)
+        pooled_cfg = HarnessConfig(workers=2, **budget)
+        graphs = load_graphs(serial_cfg, "cora")
+        serial = run_over_seeds(run_single_gcn, graphs, serial_cfg)
+        pooled = run_over_seeds(run_single_gcn, graphs, pooled_cfg)
+        assert len(serial) == len(pooled) == 2
+        for a, b in zip(serial, pooled):
+            assert a.test_accuracy == b.test_accuracy
+            assert a.val_accuracy == b.val_accuracy
+            assert a.epochs_run == b.epochs_run
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_bagging_matches_serial(self, two_cores):
+        graph = cora_like(seed=0, scale=0.05)
+        kwargs = dict(num_base_models=2, hidden=8, max_epochs=4, patience=4)
+        serial = BaggingEnsemble(workers=1, **kwargs).fit(graph, seed=0)
+        pooled = BaggingEnsemble(workers=2, **kwargs).fit(graph, seed=0)
+        assert serial.ensemble_test_accuracy == pooled.ensemble_test_accuracy
