@@ -19,6 +19,7 @@ from repro.graph.graph import Graph
 from repro.models.base import GraphModel, softmax_rows
 from repro.models.gcn import GCN
 from repro.tensor.functional import accuracy
+from repro.training.checkpoint import CheckpointStore
 from repro.training.parallel import get_shared, parallel_map
 from repro.training.records import EnsembleResult, TrainResult
 from repro.training.seed import spawn_rngs
@@ -68,18 +69,61 @@ class BaggingEnsemble:
             return self._model_factory(graph, rng)
         return GCN(graph.num_features, graph.num_classes, rng, hidden=self.hidden, dropout=self.dropout)
 
-    def fit(self, graph: Graph, seed: int = 0) -> EnsembleResult:
-        """Train all base models; returns ensemble and per-model metrics."""
+    def _fingerprint(self, graph: Graph, seed: int) -> dict:
+        trainer = self.trainer
+        return {
+            "kind": "bagging-fit",
+            "seed": int(seed),
+            "num_base_models": self.num_base_models,
+            "hidden": self.hidden,
+            "dropout": self.dropout,
+            "trainer": (trainer.max_epochs, trainer.patience, trainer.lr, trainer.weight_decay),
+            "graph": (
+                graph.name,
+                graph.num_nodes,
+                int(graph.num_edges),
+                graph.num_features,
+                graph.num_classes,
+            ),
+        }
+
+    def fit(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        checkpoint: Optional[CheckpointStore] = None,
+        checkpoint_name: str = "bagging",
+    ) -> EnsembleResult:
+        """Train all base models; returns ensemble and per-model metrics.
+
+        With a ``checkpoint`` store, each member's result is persisted
+        as it completes; a re-run with the same seed/config/graph trains
+        only the members the crashed run had not finished (members are
+        fully independent, so the restored ensemble is bit-identical).
+        """
         start = time.perf_counter()
         rngs = spawn_rngs(seed, self.num_base_models)
         base_probs: List[np.ndarray] = []
         base_test: List[float] = []
+
+        on_result, done = None, None
+        if checkpoint is not None:
+            fingerprint = self._fingerprint(graph, seed)
+            saved = checkpoint.load(checkpoint_name, fingerprint=fingerprint) or {}
+            done = {int(index): result for index, result in saved.items()}
+            known = dict(done)
+
+            def on_result(index, result):
+                known[index] = result
+                checkpoint.save(checkpoint_name, known, fingerprint=fingerprint)
 
         base_results = parallel_map(
             _fit_bagging_member,
             rngs,
             workers=self.workers,
             shared=(self, graph),
+            on_result=on_result,
+            completed=done,
         )
         for result in base_results:
             probs = softmax_rows(result.predictions)

@@ -77,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--dtype", choices=["float32", "float64"], default=None,
         help="compute dtype (default float64; float32 is faster)",
     )
+    run.add_argument(
+        "--checkpoint-dir", type=str, default=None,
+        help="persist each completed seed cell here (atomic, checksummed) "
+             "so a crashed run can resume from its last completed unit of work",
+    )
+    run.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="resume from checkpoints in --checkpoint-dir when present "
+             "(--no-resume recomputes everything; results are bit-identical either way)",
+    )
+    run.add_argument(
+        "--task-retries", type=int, default=0,
+        help="re-run a failed seed cell up to N times before giving up",
+    )
+    run.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="seconds a pooled seed cell may run before it is presumed lost and retried",
+    )
     run.add_argument("--out", type=str, default=None, help="write the report as JSON here")
     return parser
 
@@ -107,6 +125,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         dropout=args.dropout,
         workers=args.workers,
         dtype=args.dtype,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        task_retries=args.task_retries,
+        task_timeout=args.task_timeout,
     )
     report = module.run(config)
     print(report.format())

@@ -72,6 +72,9 @@ class RDDConfig:
     # forward; results are identical either way — the shared logits are
     # bitwise the ones the refresh would recompute.
     share_eval_forward: bool = True
+    # Record per-epoch loss/val-accuracy history on every student's
+    # TrainResult (golden-trajectory regression fixtures rely on this).
+    record_history: bool = False
 
     def __post_init__(self) -> None:
         if self.num_base_models < 1:

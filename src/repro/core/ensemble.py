@@ -99,6 +99,38 @@ class EnsembleModel:
         """Argmax labels of base model ``index``."""
         return self._probs[index].argmax(axis=1)
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """The full ensemble state (per-model probs/logits/α) for a
+        checkpoint.  Arrays are referenced, not copied — the ensemble
+        never mutates them after :meth:`add`."""
+        return {
+            "probs": list(self._probs),
+            "logits": list(self._logits),
+            "weights": list(self._weights),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EnsembleModel":
+        """Rebuild an ensemble captured by :meth:`state`.
+
+        Arrays are restored exactly as stored (no dtype re-cast), so a
+        resumed run sees bitwise the teacher the crashed run had.
+        """
+        ensemble = cls()
+        probs, logits, weights = state["probs"], state["logits"], state["weights"]
+        if not len(probs) == len(logits) == len(weights):
+            raise ShapeError(
+                f"inconsistent ensemble state: {len(probs)} probs, "
+                f"{len(logits)} logits, {len(weights)} weights"
+            )
+        ensemble._probs = [np.asarray(p) for p in probs]
+        ensemble._logits = [np.asarray(l) for l in logits]
+        ensemble._weights = [float(w) for w in weights]
+        return ensemble
+
 
 def uniform_softmax_ensemble(prob_list: Sequence[np.ndarray]) -> np.ndarray:
     """Plain unweighted softmax averaging (Bagging / BANs / WEW ablation)."""

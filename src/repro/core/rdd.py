@@ -20,6 +20,7 @@ under the strongest teacher).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import List, Optional
 
@@ -34,6 +35,8 @@ from repro.models.base import GraphModel, softmax_rows
 from repro.models.gcn import GCN
 from repro.nn.schedules import cosine_annealing_gamma
 from repro.tensor.functional import accuracy, entropy
+from repro.testing.faults import fault_point
+from repro.training.checkpoint import CheckpointStore
 from repro.training.records import EnsembleResult, TrainResult
 from repro.training.seed import spawn_rngs
 from repro.training.trainer import Trainer
@@ -52,11 +55,15 @@ class RDDResult(EnsembleResult):
         *args,
         reliability_history: Optional[List[dict]] = None,
         reliability_time_s: float = 0.0,
+        ensemble_weights: Optional[np.ndarray] = None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
         self.reliability_history = reliability_history or []
         self.reliability_time_s = reliability_time_s
+        # Unnormalized α_t per base model (Eq. 12) — part of the
+        # crash/resume bit-identity contract.
+        self.ensemble_weights = ensemble_weights
 
 
 class RDDTrainer:
@@ -86,8 +93,43 @@ class RDDTrainer:
         )
 
     # ------------------------------------------------------------------
-    def fit(self, graph: Graph, seed: int = 0) -> RDDResult:
-        """Run the full self-boosting loop; returns ensemble + per-model metrics."""
+    def _fingerprint(self, graph: Graph, seed: int) -> dict:
+        """Identity of one fit: config + seed + dataset + factory.
+
+        A checkpoint recorded under a different fingerprint is ignored
+        on resume, so runs never silently mix hyperparameters or data.
+        """
+        return {
+            "kind": "rdd-fit",
+            "seed": int(seed),
+            "config": dataclasses.asdict(self.config),
+            "factory": getattr(self._model_factory, "__qualname__", repr(self._model_factory)),
+            "graph": (
+                graph.name,
+                graph.num_nodes,
+                int(graph.num_edges),
+                graph.num_features,
+                graph.num_classes,
+            ),
+        }
+
+    def fit(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        checkpoint: Optional[CheckpointStore] = None,
+        checkpoint_name: str = "rdd",
+    ) -> RDDResult:
+        """Run the full self-boosting loop; returns ensemble + per-model metrics.
+
+        With a ``checkpoint`` store, the full teacher state (per-student
+        probs/logits/α-weights), accumulated results, and loop position
+        are persisted after every completed student; a re-run with the
+        same config/seed/graph resumes at the first unfinished student
+        and produces a bit-identical :class:`RDDResult` (each student
+        consumes its own spawned RNG, so later students never depend on
+        the position of earlier students' streams).
+        """
         config = self.config
         start = time.perf_counter()
         rngs = spawn_rngs(seed, config.num_base_models)
@@ -97,6 +139,7 @@ class RDDTrainer:
             lr=config.lr,
             weight_decay=config.weight_decay,
             share_eval_forward=config.share_eval_forward,
+            record_history=config.record_history,
         )
         pagerank = graph.pagerank()
         edge_src, edge_dst = graph.edge_list()
@@ -107,8 +150,22 @@ class RDDTrainer:
         ensemble_curve: List[float] = []
         reliability_history: List[dict] = []
         self._reliability_time = 0.0
+        first_student = 0
 
-        for t in range(config.num_base_models):
+        fingerprint = self._fingerprint(graph, seed) if checkpoint is not None else None
+        if checkpoint is not None:
+            saved = checkpoint.load(checkpoint_name, fingerprint=fingerprint)
+            if saved is not None:
+                teacher = EnsembleModel.from_state(saved["teacher"])
+                base_results = saved["base_results"]
+                base_test = saved["base_test"]
+                ensemble_curve = saved["ensemble_curve"]
+                reliability_history = saved["reliability_history"]
+                self._reliability_time = saved["reliability_time_s"]
+                first_student = saved["completed"]
+
+        for t in range(first_student, config.num_base_models):
+            fault_point("rdd:student", key=t)
             model = self._model_factory(graph, rngs[t])
             if t == 0:
                 # First student: plain supervised GCN (Alg. 3 line 2).
@@ -132,6 +189,21 @@ class RDDTrainer:
             teacher.add(probs, logits, weight)
             ensemble_curve.append(accuracy(teacher.probs(), graph.labels, graph.test_index))
 
+            if checkpoint is not None:
+                checkpoint.save(
+                    checkpoint_name,
+                    {
+                        "completed": t + 1,
+                        "teacher": teacher.state(),
+                        "base_results": base_results,
+                        "base_test": base_test,
+                        "ensemble_curve": ensemble_curve,
+                        "reliability_history": reliability_history,
+                        "reliability_time_s": self._reliability_time,
+                    },
+                    fingerprint=fingerprint,
+                )
+
         ensemble_probs = teacher.probs()
         wall = time.perf_counter() - start
         return RDDResult(
@@ -143,6 +215,7 @@ class RDDTrainer:
             ensemble_curve=ensemble_curve,
             reliability_history=reliability_history,
             reliability_time_s=self._reliability_time,
+            ensemble_weights=teacher.raw_weights,
         )
 
     # ------------------------------------------------------------------

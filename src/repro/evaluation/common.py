@@ -10,6 +10,7 @@ paper's full protocol.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -23,6 +24,8 @@ from repro.datasets.registry import load_dataset
 from repro.graph.graph import Graph
 from repro.models.gcn import GCN
 from repro.tensor.tensor import default_dtype
+from repro.testing.faults import fault_point
+from repro.training.checkpoint import CheckpointStore
 from repro.training.parallel import get_shared, parallel_map
 from repro.training.records import EnsembleResult, TrainResult
 from repro.training.seed import make_rng
@@ -57,6 +60,18 @@ class HarnessConfig:
         Share the trainer's validation forward with RDD's reliability
         refresh (2 full-graph forwards per epoch); False reproduces the
         legacy 3-forward schedule.
+    checkpoint_dir / resume:
+        When ``checkpoint_dir`` is set, every :func:`run_over_seeds`
+        loop persists each completed seed cell (atomic, checksummed —
+        see :mod:`repro.training.checkpoint`) and, with ``resume``
+        (the default), re-runs only the cells a crashed run had not
+        finished.  Resumed results are bit-identical to an
+        uninterrupted run.
+    task_retries / retry_backoff / task_timeout:
+        Per-cell fault tolerance forwarded to
+        :func:`repro.training.parallel.parallel_map`: retry failing
+        cells with exponential backoff, and presume pooled cells lost
+        after ``task_timeout`` seconds.
     """
 
     scale: float = 0.2
@@ -71,6 +86,11 @@ class HarnessConfig:
     workers: int = 1
     dtype: Optional[str] = None
     share_eval_forward: bool = True
+    checkpoint_dir: Optional[str] = None
+    resume: bool = True
+    task_retries: int = 0
+    retry_backoff: float = 0.05
+    task_timeout: Optional[float] = None
 
     def trainer(self) -> Trainer:
         return Trainer(
@@ -94,6 +114,31 @@ class HarnessConfig:
         )
         base.update(overrides)
         return RDDConfig(**base)
+
+    def checkpoint_store(self) -> Optional[CheckpointStore]:
+        """The configured :class:`CheckpointStore` (``None`` when off)."""
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(self.checkpoint_dir)
+
+    def fingerprint(self) -> dict:
+        """The scientific identity of this budget: every field that can
+        change results.  Execution knobs (workers, retries, checkpoint
+        location) are deliberately excluded — a run may resume with a
+        different worker count and still be the same experiment."""
+        return {
+            "scale": self.scale,
+            "seeds": tuple(self.seeds),
+            "num_base_models": self.num_base_models,
+            "max_epochs": self.max_epochs,
+            "patience": self.patience,
+            "hidden": self.hidden,
+            "dropout": self.dropout,
+            "lr": self.lr,
+            "weight_decay": self.weight_decay,
+            "dtype": self.dtype,
+            "share_eval_forward": self.share_eval_forward,
+        }
 
 
 @dataclass
@@ -192,15 +237,27 @@ def _run_seed_task(task):
     """Execute one harness cell; the per-seed graph rides the fork as
     shared memory (see :func:`repro.training.parallel.get_shared`)."""
     runner, config, seed, index, kwargs = task
+    fault_point("harness:seed", key=index)
     graph = get_shared()[index]
     with default_dtype(config.dtype):
         return runner(graph, config, seed, **kwargs)
+
+
+def _graph_fingerprint(graph: Graph) -> tuple:
+    return (
+        graph.name,
+        graph.num_nodes,
+        int(graph.num_edges),
+        graph.num_features,
+        graph.num_classes,
+    )
 
 
 def run_over_seeds(
     runner: Callable[..., object],
     graphs: Sequence[Graph],
     config: HarnessConfig,
+    checkpoint_name: Optional[str] = None,
     **kwargs,
 ) -> List[object]:
     """Run ``runner(graph, config, seed, **kwargs)`` for each seed's graph.
@@ -210,14 +267,52 @@ def run_over_seeds(
     identical to a plain list comprehension over the seeds).  The
     configured compute dtype is installed around each run.  Graphs are
     handed to workers via fork inheritance, not pickled per task.
+
+    With ``config.checkpoint_dir`` set, each completed seed cell is
+    persisted the moment it finishes (atomic + checksummed), and a
+    re-run after a crash executes only the missing cells — cells derive
+    independent RNG streams, so the resumed result list is bit-identical
+    to an uninterrupted run.  The checkpoint name encodes runner, budget
+    fingerprint, and dataset identity, so distinct loops inside one
+    harness (or different configs) never collide.
     """
     graphs = list(graphs)
     tasks = [
         (runner, config, seed, index, kwargs)
         for index, seed in enumerate(config.seeds)
     ]
+
+    on_result, done = None, None
+    store = config.checkpoint_store()
+    if store is not None:
+        fingerprint = {
+            "kind": "run-over-seeds",
+            "runner": getattr(runner, "__name__", repr(runner)),
+            "kwargs": repr(sorted(kwargs.items())),
+            "config": config.fingerprint(),
+            "graphs": [_graph_fingerprint(graph) for graph in graphs],
+        }
+        if checkpoint_name is None:
+            digest = hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:12]
+            checkpoint_name = f"seeds-{fingerprint['runner']}-{digest}"
+        saved = (store.load(checkpoint_name, fingerprint=fingerprint) or {}) if config.resume else {}
+        done = {int(index): result for index, result in saved.items()}
+        known = dict(done)
+
+        def on_result(index, result):
+            known[index] = result
+            store.save(checkpoint_name, known, fingerprint=fingerprint)
+
     return parallel_map(
-        _run_seed_task, tasks, workers=config.workers, shared=graphs
+        _run_seed_task,
+        tasks,
+        workers=config.workers,
+        shared=graphs,
+        retries=config.task_retries,
+        backoff=config.retry_backoff,
+        task_timeout=config.task_timeout,
+        on_result=on_result,
+        completed=done,
     )
 
 

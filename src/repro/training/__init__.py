@@ -1,9 +1,21 @@
-"""Training loop, metrics, seeding, and result records."""
+"""Training loop, metrics, seeding, checkpointing, and result records."""
 
+from repro.training.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.training.metrics import confusion_matrix, macro_f1, split_accuracies
-from repro.training.parallel import default_workers, parallel_map, spawn_seeds
-from repro.training.records import EnsembleResult, TrainResult
-from repro.training.seed import make_rng, spawn_rngs
+from repro.training.parallel import (
+    TaskTimeout,
+    default_workers,
+    parallel_map,
+    reset_fallback_warnings,
+    spawn_seeds,
+)
+from repro.training.records import EnsembleResult, TrainResult, results_bitwise_equal
+from repro.training.seed import generator_state, make_rng, restore_generator, spawn_rngs
 from repro.training.trainer import Trainer, supervised_loss
 from repro.training.tuning import GridSearchResult, grid_cells, grid_search
 
@@ -15,12 +27,18 @@ __all__ = [
     "supervised_loss",
     "TrainResult",
     "EnsembleResult",
+    "results_bitwise_equal",
     "make_rng",
     "spawn_rngs",
+    "generator_state",
+    "restore_generator",
     "parallel_map",
     "spawn_seeds",
     "default_workers",
-    "split_accuracies",
-    "confusion_matrix",
-    "macro_f1",
+    "reset_fallback_warnings",
+    "TaskTimeout",
+    "CheckpointStore",
+    "CheckpointError",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

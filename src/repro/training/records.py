@@ -80,3 +80,61 @@ class EnsembleResult:
             f"last_base={self.last_base_test_accuracy:.4f} "
             f"({len(self.base_test_accuracies)} models, {self.wall_time_s:.2f}s)"
         )
+
+
+# ----------------------------------------------------------------------
+# Bit-identity comparison (crash/resume and parallel/serial parity)
+# ----------------------------------------------------------------------
+def _arrays_equal(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    a, b = np.asarray(a), np.asarray(b)
+    return a.shape == b.shape and a.dtype == b.dtype and np.array_equal(a, b)
+
+
+def results_bitwise_equal(a, b) -> bool:
+    """Whether two result records are *bit-identical*, ignoring timing.
+
+    This is the correctness oracle for the crash-safe runtime: a harness
+    resumed from a checkpoint, or re-run with a different worker count,
+    must reproduce every accuracy, every prediction array, and every
+    ensemble weight exactly — only wall-clock fields may differ.  Extra
+    fields carried by subclasses (e.g. ``RDDResult.ensemble_weights``
+    and ``reliability_history``) are compared via duck typing so this
+    module stays free of a dependency on :mod:`repro.core`.
+    """
+    if isinstance(a, TrainResult) or isinstance(b, TrainResult):
+        if not (isinstance(a, TrainResult) and isinstance(b, TrainResult)):
+            return False
+        return (
+            a.train_accuracy == b.train_accuracy
+            and a.val_accuracy == b.val_accuracy
+            and a.test_accuracy == b.test_accuracy
+            and a.epochs_run == b.epochs_run
+            and a.best_epoch == b.best_epoch
+            and _history_equal(a.history, b.history)
+            and _arrays_equal(a.predictions, b.predictions)
+        )
+    if isinstance(a, EnsembleResult) or isinstance(b, EnsembleResult):
+        if not (isinstance(a, EnsembleResult) and isinstance(b, EnsembleResult)):
+            return False
+        return (
+            a.ensemble_test_accuracy == b.ensemble_test_accuracy
+            and a.ensemble_val_accuracy == b.ensemble_val_accuracy
+            and list(a.base_test_accuracies) == list(b.base_test_accuracies)
+            and list(a.ensemble_curve) == list(b.ensemble_curve)
+            and len(a.base_results) == len(b.base_results)
+            and all(
+                results_bitwise_equal(x, y) for x, y in zip(a.base_results, b.base_results)
+            )
+            and getattr(a, "reliability_history", None) == getattr(b, "reliability_history", None)
+            and _arrays_equal(
+                getattr(a, "ensemble_weights", None), getattr(b, "ensemble_weights", None)
+            )
+        )
+    return a == b
+
+
+def _history_equal(a, b) -> bool:
+    """Per-epoch histories match exactly (loss values are deterministic)."""
+    return list(a) == list(b)

@@ -19,6 +19,7 @@ from repro.nn.optim import Adam
 from repro.nn.schedules import EarlyStopping
 from repro.tensor.functional import accuracy, masked_cross_entropy_logits
 from repro.tensor.tensor import Tensor
+from repro.testing.faults import fault_point
 from repro.training.records import TrainResult
 
 # Signature: loss_fn(model, logits, epoch) -> scalar Tensor.
@@ -127,6 +128,7 @@ class Trainer:
 
         epochs_run = 0
         for epoch in range(self.max_epochs):
+            fault_point("trainer:epoch", key=epoch)
             epochs_run = epoch + 1
             if epoch_callback is not None:
                 if share_logits:

@@ -1,0 +1,125 @@
+"""Hypothesis property tests for :class:`EnsembleModel` invariants.
+
+The algebraic facts the teacher's correctness rests on: normalized
+α-weights form a distribution, the weighted average is permutation
+invariant (model order is an implementation detail of the boosting
+loop), ``add`` grows the ensemble monotonically, and the checkpoint
+round trip is the identity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EnsembleModel, ensemble_weight
+from repro.errors import ConfigError, ShapeError
+
+N_NODES, N_CLASSES = 10, 4
+
+
+def build_ensemble(seed, models):
+    """A seeded ensemble with Eq.-12 weights over random base outputs."""
+    rng = np.random.default_rng(seed)
+    pagerank = rng.dirichlet(np.ones(N_NODES))
+    ensemble = EnsembleModel()
+    members = []
+    for _ in range(models):
+        probs = rng.dirichlet(np.ones(N_CLASSES), size=N_NODES)
+        logits = np.log(probs + 1e-12)
+        members.append((probs, logits, ensemble_weight(probs, pagerank)))
+        ensemble.add(*members[-1])
+    return ensemble, members
+
+
+class TestWeightDistribution:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), models=st.integers(1, 6))
+    def test_normalized_weights_are_a_distribution(self, seed, models):
+        ensemble, _ = build_ensemble(seed, models)
+        weights = ensemble.weights
+        assert (weights > 0).all()  # α_t > 0 by construction (Eq. 12 clamp)
+        assert weights.shape == (models,)
+        np.testing.assert_allclose(weights.sum(), 1.0, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), models=st.integers(1, 6))
+    def test_raw_weights_are_positive_and_order_preserved(self, seed, models):
+        ensemble, members = build_ensemble(seed, models)
+        raw = ensemble.raw_weights
+        assert (raw > 0).all()
+        np.testing.assert_array_equal(raw, [w for _, _, w in members])
+        # Normalization must not change relative weightings.
+        np.testing.assert_allclose(
+            ensemble.weights, raw / raw.sum(), atol=0, rtol=0
+        )
+
+    def test_nonpositive_weight_rejected(self):
+        ensemble = EnsembleModel()
+        probs = np.full((N_NODES, N_CLASSES), 1.0 / N_CLASSES)
+        for bad in (0.0, -1.0):
+            with pytest.raises(ConfigError):
+                ensemble.add(probs, probs, bad)
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), models=st.integers(2, 6))
+    def test_predict_invariant_under_base_model_permutation(self, seed, models):
+        _, members = build_ensemble(seed, models)
+        rng = np.random.default_rng(seed + 1)
+        order = rng.permutation(models)
+
+        original, permuted = EnsembleModel(), EnsembleModel()
+        for member in members:
+            original.add(*member)
+        for index in order:
+            permuted.add(*members[index])
+
+        np.testing.assert_array_equal(original.predict(), permuted.predict())
+        # The underlying weighted averages agree up to summation order.
+        np.testing.assert_allclose(original.probs(), permuted.probs(), atol=1e-12)
+        np.testing.assert_allclose(
+            original.embeddings(), permuted.embeddings(), atol=1e-10
+        )
+
+
+class TestAddMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), models=st.integers(1, 8))
+    def test_len_counts_every_add(self, seed, models):
+        rng = np.random.default_rng(seed)
+        ensemble = EnsembleModel()
+        assert len(ensemble) == 0
+        for t in range(models):
+            probs = rng.dirichlet(np.ones(N_CLASSES), size=N_NODES)
+            before = len(ensemble)
+            ensemble.add(probs, probs, float(rng.uniform(0.1, 10.0)))
+            assert len(ensemble) == before + 1
+        assert len(ensemble) == models
+
+    def test_failed_add_does_not_grow_the_ensemble(self):
+        ensemble, _ = build_ensemble(0, 2)
+        wrong_shape = np.full((N_NODES + 1, N_CLASSES), 1.0 / N_CLASSES)
+        with pytest.raises(ShapeError):
+            ensemble.add(wrong_shape, wrong_shape, 1.0)
+        assert len(ensemble) == 2
+
+
+class TestStateRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), models=st.integers(1, 5))
+    def test_checkpoint_round_trip_is_identity(self, seed, models):
+        ensemble, _ = build_ensemble(seed, models)
+        restored = EnsembleModel.from_state(ensemble.state())
+        assert len(restored) == len(ensemble)
+        np.testing.assert_array_equal(restored.raw_weights, ensemble.raw_weights)
+        np.testing.assert_array_equal(restored.probs(), ensemble.probs())
+        np.testing.assert_array_equal(restored.embeddings(), ensemble.embeddings())
+
+    def test_inconsistent_state_rejected(self):
+        ensemble, _ = build_ensemble(0, 2)
+        state = ensemble.state()
+        state["weights"] = state["weights"][:1]
+        with pytest.raises(ShapeError):
+            EnsembleModel.from_state(state)

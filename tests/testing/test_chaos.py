@@ -1,0 +1,190 @@
+"""Chaos tests: crash the runtime mid-run, resume, demand bit-identity.
+
+The contract under test is the strongest one the crash-safe runtime
+makes: after a worker crash, an interrupted checkpoint write, or even a
+corrupted checkpoint file, resuming a multi-seed harness / RDD fit /
+Bagging fit / grid search produces a result **bit-identical** to an
+uninterrupted run — every accuracy, prediction array, and ensemble
+weight, compared with :func:`results_bitwise_equal` (no tolerances).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bagging import BaggingEnsemble
+from repro.core.config import RDDConfig
+from repro.core.rdd import RDDTrainer
+from repro.datasets.citation import cora_like
+from repro.evaluation.common import HarnessConfig, load_graphs, run_over_seeds, run_rdd
+from repro.models.gcn import GCN
+from repro.testing.faults import CheckpointFault, FaultPlan, WorkerCrash, inject, truncate_file
+from repro.training.checkpoint import CheckpointStore
+from repro.training.records import results_bitwise_equal
+from repro.training.trainer import Trainer
+from repro.training.tuning import grid_search
+
+BUDGET = dict(scale=0.05, seeds=(0, 1, 2), num_base_models=2, max_epochs=4, patience=4, hidden=8)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return load_graphs(HarnessConfig(**BUDGET), "cora")
+
+
+@pytest.fixture(scope="module")
+def clean_harness(graphs):
+    """The uninterrupted multi-seed RDD harness run (the reference)."""
+    return run_over_seeds(run_rdd, graphs, HarnessConfig(**BUDGET))
+
+
+class TestHarnessResume:
+    def test_crash_mid_harness_then_resume_is_bit_identical(self, graphs, clean_harness, tmp_path):
+        # Acceptance criterion: kill the multi-seed harness mid-run,
+        # resume from checkpoint, final results bit-identical.
+        config = HarnessConfig(checkpoint_dir=str(tmp_path), **BUDGET)
+        with inject(FaultPlan().fail("harness:seed", key=2)):
+            with pytest.raises(WorkerCrash):
+                run_over_seeds(run_rdd, graphs, config)
+
+        resumed = run_over_seeds(run_rdd, graphs, config)
+        assert len(resumed) == len(clean_harness)
+        for clean, after in zip(clean_harness, resumed):
+            assert results_bitwise_equal(clean, after)
+            assert after.ensemble_weights is not None
+
+    def test_corrupted_checkpoint_falls_back_and_stays_bit_identical(
+        self, graphs, clean_harness, tmp_path
+    ):
+        # Crash AND truncate the newest checkpoint generation: the
+        # resume falls back to the previous generation (re-running one
+        # extra seed) and the final results are still bit-identical.
+        config = HarnessConfig(checkpoint_dir=str(tmp_path), **BUDGET)
+        store = config.checkpoint_store()
+        with inject(FaultPlan().fail("harness:seed", key=2)):
+            with pytest.raises(WorkerCrash):
+                run_over_seeds(run_rdd, graphs, config)
+
+        (name,) = {p.name.rsplit("-", 1)[0] for p in tmp_path.iterdir()}
+        truncate_file(store.latest_path(name), keep_fraction=0.5)
+
+        with pytest.warns(UserWarning, match="skipping invalid generation"):
+            resumed = run_over_seeds(run_rdd, graphs, config)
+        for clean, after in zip(clean_harness, resumed):
+            assert results_bitwise_equal(clean, after)
+
+    def test_crash_during_checkpoint_write_loses_at_most_one_cell(
+        self, graphs, clean_harness, tmp_path
+    ):
+        # The crash hits the checkpoint *save* of seed 1's result: seed 0
+        # is durable, seed 1's work is lost — and recomputed identically.
+        config = HarnessConfig(checkpoint_dir=str(tmp_path), **BUDGET)
+        with inject(FaultPlan().fail("checkpoint:save", at=1, exc=CheckpointFault)):
+            with pytest.raises(CheckpointFault):
+                run_over_seeds(run_rdd, graphs, config)
+
+        resumed = run_over_seeds(run_rdd, graphs, config)
+        for clean, after in zip(clean_harness, resumed):
+            assert results_bitwise_equal(clean, after)
+
+    def test_no_resume_recomputes_everything_identically(self, graphs, clean_harness, tmp_path):
+        config = HarnessConfig(checkpoint_dir=str(tmp_path), **BUDGET)
+        with inject(FaultPlan().fail("harness:seed", key=1)):
+            with pytest.raises(WorkerCrash):
+                run_over_seeds(run_rdd, graphs, config)
+
+        fresh = run_over_seeds(run_rdd, graphs, HarnessConfig(
+            checkpoint_dir=str(tmp_path), resume=False, **BUDGET
+        ))
+        for clean, after in zip(clean_harness, fresh):
+            assert results_bitwise_equal(clean, after)
+
+    def test_retry_survives_transient_crash_in_one_run(self, graphs, clean_harness):
+        # No checkpoint at all: a transient fault on seed 1 clears on
+        # retry and the run completes bit-identically.
+        config = HarnessConfig(task_retries=1, retry_backoff=0.0, **BUDGET)
+        with inject(FaultPlan().fail("harness:seed", key=1, at=0)) as plan:
+            with pytest.warns(UserWarning, match="retrying"):
+                results = run_over_seeds(run_rdd, graphs, config)
+        assert plan.fired() == 1
+        for clean, after in zip(clean_harness, results):
+            assert results_bitwise_equal(clean, after)
+
+
+class TestRDDStudentResume:
+    def test_crash_mid_student_loop_then_resume_is_bit_identical(self, tmp_path):
+        graph = cora_like(seed=0, scale=0.05)
+        config = RDDConfig(num_base_models=3, max_epochs=4, patience=4, hidden=8)
+        clean = RDDTrainer(config).fit(graph, seed=0)
+
+        store = CheckpointStore(tmp_path)
+        with inject(FaultPlan().fail("rdd:student", key=2)):
+            with pytest.raises(WorkerCrash):
+                RDDTrainer(config).fit(graph, seed=0, checkpoint=store)
+
+        resumed = RDDTrainer(config).fit(graph, seed=0, checkpoint=store)
+        assert results_bitwise_equal(clean, resumed)
+        np.testing.assert_array_equal(clean.ensemble_weights, resumed.ensemble_weights)
+        for a, b in zip(clean.base_results, resumed.base_results):
+            np.testing.assert_array_equal(a.predictions, b.predictions)
+
+    def test_different_config_ignores_stale_checkpoint(self, tmp_path):
+        graph = cora_like(seed=0, scale=0.05)
+        store = CheckpointStore(tmp_path)
+        config = RDDConfig(num_base_models=2, max_epochs=4, patience=4, hidden=8)
+        RDDTrainer(config).fit(graph, seed=0, checkpoint=store)
+
+        other = RDDConfig(num_base_models=2, max_epochs=4, patience=4, hidden=8, p=60.0)
+        clean = RDDTrainer(other).fit(graph, seed=0)
+        with pytest.warns(UserWarning, match="different config/seed fingerprint"):
+            resumed = RDDTrainer(other).fit(graph, seed=0, checkpoint=store)
+        # the p=60 run must not have inherited the p=40 teacher
+        assert results_bitwise_equal(clean, resumed)
+
+    def test_completed_checkpoint_short_circuits_retraining(self, tmp_path):
+        graph = cora_like(seed=0, scale=0.05)
+        config = RDDConfig(num_base_models=2, max_epochs=4, patience=4, hidden=8)
+        store = CheckpointStore(tmp_path)
+        first = RDDTrainer(config).fit(graph, seed=0, checkpoint=store)
+
+        # A second fit finds every student already completed: no student
+        # trains (the trainer:epoch fault would fire if one did).
+        with inject(FaultPlan().fail("trainer:epoch", at=None)):
+            again = RDDTrainer(config).fit(graph, seed=0, checkpoint=store)
+        assert results_bitwise_equal(first, again)
+
+
+class TestBaggingResume:
+    def test_crash_mid_member_then_resume_is_bit_identical(self, tmp_path):
+        graph = cora_like(seed=0, scale=0.05)
+        kwargs = dict(num_base_models=3, hidden=8, max_epochs=4, patience=4)
+        clean = BaggingEnsemble(**kwargs).fit(graph, seed=0)
+
+        store = CheckpointStore(tmp_path)
+        with inject(FaultPlan().fail("parallel:task", key=2)):
+            with pytest.raises(WorkerCrash):
+                BaggingEnsemble(**kwargs).fit(graph, seed=0, checkpoint=store)
+
+        resumed = BaggingEnsemble(**kwargs).fit(graph, seed=0, checkpoint=store)
+        assert results_bitwise_equal(clean, resumed)
+
+
+def _grid_factory(graph, rng, hidden):
+    return GCN(graph.num_features, graph.num_classes, rng, hidden=hidden, dropout=0.5)
+
+
+class TestGridSearchResume:
+    def test_crash_mid_grid_then_resume_selects_same_cell(self, tmp_path):
+        graph = cora_like(seed=0, scale=0.05)
+        trainer = Trainer(max_epochs=4, patience=4)
+        grid = {"hidden": [4, 8, 12]}
+        clean = grid_search(_grid_factory, grid, graph, trainer=trainer, seed=0)
+
+        store = CheckpointStore(tmp_path)
+        with inject(FaultPlan().fail("grid:cell", key=2)):
+            with pytest.raises(WorkerCrash):
+                grid_search(_grid_factory, grid, graph, trainer=trainer, seed=0, checkpoint=store)
+
+        resumed = grid_search(_grid_factory, grid, graph, trainer=trainer, seed=0, checkpoint=store)
+        assert resumed.best_params == clean.best_params
+        assert results_bitwise_equal(clean.best_result, resumed.best_result)
+        assert resumed.trials == clean.trials

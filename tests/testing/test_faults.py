@@ -1,0 +1,118 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.testing.faults import (
+    FaultPlan,
+    InjectedFault,
+    TransientFault,
+    WorkerCrash,
+    active_plan,
+    fault_point,
+    inject,
+    truncate_file,
+)
+
+
+class TestInactiveByDefault:
+    def test_fault_point_is_noop_without_plan(self):
+        assert active_plan() is None
+        fault_point("parallel:task", key=0)  # must not raise
+
+    def test_inject_restores_previous_plan(self):
+        plan = FaultPlan()
+        with inject(plan):
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_inject_restores_after_exception(self):
+        plan = FaultPlan().fail("site", exc=WorkerCrash)
+        with pytest.raises(WorkerCrash):
+            with inject(plan):
+                fault_point("site")
+        assert active_plan() is None
+
+
+class TestRuleMatching:
+    def test_fires_on_first_hit_by_default(self):
+        plan = FaultPlan().fail("site")
+        with inject(plan):
+            with pytest.raises(WorkerCrash):
+                fault_point("site")
+            fault_point("site")  # hit 1: already fired at hit 0
+        assert plan.fired() == 1
+
+    def test_keyed_rule_only_matches_its_key(self):
+        plan = FaultPlan().fail("site", key=2)
+        with inject(plan):
+            fault_point("site", key=0)
+            fault_point("site", key=1)
+            with pytest.raises(WorkerCrash):
+                fault_point("site", key=2)
+
+    def test_hit_index_selection(self):
+        plan = FaultPlan().fail("site", at=1)
+        with inject(plan):
+            fault_point("site")
+            with pytest.raises(WorkerCrash):
+                fault_point("site")
+
+    def test_every_hit_when_at_is_none(self):
+        plan = FaultPlan().fail("site", at=None, exc=TransientFault)
+        with inject(plan):
+            for _ in range(3):
+                with pytest.raises(TransientFault):
+                    fault_point("site")
+        assert plan.fired("site") == 3
+
+    def test_other_sites_unaffected(self):
+        plan = FaultPlan().fail("site-a")
+        with inject(plan):
+            fault_point("site-b")  # must not raise
+
+    def test_custom_exception_type(self):
+        plan = FaultPlan().fail("site", exc=TransientFault)
+        with inject(plan):
+            with pytest.raises(TransientFault):
+                fault_point("site")
+
+    def test_injected_faults_are_library_errors(self):
+        assert issubclass(WorkerCrash, InjectedFault)
+
+    def test_rules_chain_fluently(self):
+        plan = FaultPlan().fail("a").fail("b", key=1)
+        assert len(plan.rules) == 2
+
+
+class TestActions:
+    def test_action_runs_instead_of_raising(self):
+        seen = []
+        plan = FaultPlan().fail("site", action=lambda ctx: seen.append(ctx))
+        with inject(plan):
+            fault_point("site", key=7, path="/tmp/x")
+        assert seen == [{"key": 7, "path": "/tmp/x"}]
+        assert plan.fired("site") == 1
+
+    def test_action_receives_context_each_fire(self):
+        seen = []
+        plan = FaultPlan().fail("site", at=None, action=lambda ctx: seen.append(ctx["key"]))
+        with inject(plan):
+            fault_point("site", key="a")
+            fault_point("site", key="b")
+        assert seen == ["a", "b"]
+
+
+class TestFileHelpers:
+    def test_truncate_file(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"0123456789")
+        truncate_file(path, keep_fraction=0.5)
+        assert path.read_bytes() == b"01234"
+
+    def test_flip_byte_rejects_empty(self, tmp_path):
+        from repro.testing.faults import flip_byte
+
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            flip_byte(path)

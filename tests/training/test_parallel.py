@@ -5,9 +5,16 @@ The one hard requirement: ``workers=N`` must produce results equal to
 running the suite may expose a single core — the pool clamps itself to
 the available cores and degrades to the serial loop — so the tests that
 need a real pool monkeypatch :func:`available_cores`.
+
+The fault-tolerance tests crash real worker processes (``os._exit``)
+with filesystem sentinels making each crash happen exactly once, so a
+rebuilt pool observes the task succeeding on its second attempt.
 """
 
 import multiprocessing
+import os
+import time
+import warnings as warnings_module
 
 import numpy as np
 import pytest
@@ -17,9 +24,11 @@ from repro.datasets.citation import cora_like
 from repro.evaluation.common import HarnessConfig, load_graphs, run_over_seeds, run_single_gcn
 from repro.training import parallel
 from repro.training.parallel import (
+    TaskTimeout,
     available_cores,
     get_shared,
     parallel_map,
+    reset_fallback_warnings,
     spawn_seeds,
 )
 
@@ -32,6 +41,43 @@ def _square(x):
 
 def _shared_lookup(index):
     return get_shared()[index] * 10
+
+
+def _once(sentinel):
+    """True exactly once per sentinel path (atomic create-or-fail)."""
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _crash_once(args):
+    x, sentinel = args
+    if x == 2 and _once(sentinel):
+        os._exit(1)  # hard-kill the worker: the pool breaks
+    return x * x
+
+
+def _flaky(args):
+    x, sentinel = args
+    if x == 1 and _once(sentinel):
+        raise ValueError("transient failure")
+    return x * x
+
+
+def _slow_once(args):
+    x, sentinel = args
+    if x == 1 and _once(sentinel):
+        time.sleep(3.0)
+    return x * x
+
+
+def _sleepy(x):
+    if x == 1:
+        time.sleep(3.0)
+    return x
 
 
 @pytest.fixture
@@ -120,3 +166,158 @@ class TestWorkerDeterminism:
         serial = BaggingEnsemble(workers=1, **kwargs).fit(graph, seed=0)
         pooled = BaggingEnsemble(workers=2, **kwargs).fit(graph, seed=0)
         assert serial.ensemble_test_accuracy == pooled.ensemble_test_accuracy
+
+
+class TestFallbackWarnings:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_sites(self):
+        reset_fallback_warnings()
+        yield
+        reset_fallback_warnings()
+
+    def test_warns_once_per_call_site_with_reason(self, two_cores):
+        offset = 1
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            for _ in range(3):  # same call site three times -> one warning
+                assert parallel_map(lambda x: x + offset, [1, 2], workers=2) == [2, 3]
+        fallback = [w for w in caught if "not picklable" in str(w.message)]
+        assert len(fallback) == 1
+        # The reason (what failed to pickle, and why) must be included.
+        assert "task function" in str(fallback[0].message)
+
+    def test_distinct_call_sites_each_warn(self, two_cores):
+        offset = 1
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            parallel_map(lambda x: x + offset, [1, 2], workers=2)
+            parallel_map(lambda x: x + offset, [1, 2], workers=2)  # different line
+        assert len([w for w in caught if "not picklable" in str(w.message)]) == 2
+
+    def test_reset_rearms_the_warning(self, two_cores):
+        offset = 1
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            for _ in range(2):
+                parallel_map(lambda x: x + offset, [1, 2], workers=2)
+                reset_fallback_warnings()
+        assert len([w for w in caught if "not picklable" in str(w.message)]) == 2
+
+
+class TestSerialRetries:
+    def test_transient_failure_retried(self, tmp_path):
+        sentinel = str(tmp_path / "flaky")
+        tasks = [(x, sentinel) for x in range(3)]
+        with pytest.warns(UserWarning, match="retrying"):
+            result = parallel_map(_flaky, tasks, workers=1, retries=1)
+        assert result == [0, 1, 4]
+
+    def test_retries_exhausted_propagates(self):
+        def always_fails(x):
+            raise ValueError("permanent failure")
+
+        with pytest.raises(ValueError, match="permanent failure"):
+            with pytest.warns(UserWarning, match="retrying"):
+                parallel_map(always_fails, [1], workers=1, retries=2)
+
+    def test_no_retries_fails_fast(self):
+        calls = []
+
+        def fails(x):
+            calls.append(x)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            parallel_map(fails, [1], workers=1)
+        assert calls == [1]
+
+
+class TestResumeHooks:
+    def test_on_result_reports_each_new_result_in_order(self):
+        seen = []
+        parallel_map(_square, [1, 2, 3], workers=1, on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 1), (1, 4), (2, 9)]
+
+    def test_completed_tasks_are_skipped(self):
+        def must_not_run_zero(x):
+            if x == 0:
+                raise AssertionError("completed task re-ran")
+            return x * x
+
+        result = parallel_map(must_not_run_zero, [0, 1, 2], workers=1, completed={0: 111})
+        assert result == [111, 1, 4]
+
+    def test_completed_tasks_not_rereported(self):
+        seen = []
+        parallel_map(
+            _square, [1, 2, 3], workers=1,
+            on_result=lambda i, r: seen.append(i), completed={1: 999},
+        )
+        assert seen == [0, 2]
+
+    def test_completed_accepts_string_keys(self):
+        # Checkpoint payloads that round-trip through JSON stringify keys.
+        assert parallel_map(_square, [5, 6], workers=1, completed={"1": 42}) == [25, 42]
+
+    def test_out_of_range_completed_ignored(self):
+        assert parallel_map(_square, [2], workers=1, completed={7: 1}) == [4]
+
+    def test_all_completed_runs_nothing(self):
+        def boom(x):
+            raise AssertionError("nothing should run")
+
+        assert parallel_map(boom, [1, 2], workers=1, completed={0: "a", 1: "b"}) == ["a", "b"]
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestPoolFaultTolerance:
+    def test_broken_pool_recovers_and_reruns_only_lost_tasks(self, two_cores, tmp_path):
+        sentinel = str(tmp_path / "crash")
+        tasks = [(x, sentinel) for x in range(4)]
+        with pytest.warns(UserWarning, match="process pool broke"):
+            result = parallel_map(_crash_once, tasks, workers=2)
+        assert result == [0, 1, 4, 9]
+
+    def test_pooled_transient_failure_retried(self, two_cores, tmp_path):
+        sentinel = str(tmp_path / "flaky")
+        tasks = [(x, sentinel) for x in range(4)]
+        with pytest.warns(UserWarning, match="retrying"):
+            result = parallel_map(_flaky, tasks, workers=2, retries=1)
+        assert result == [0, 1, 4, 9]
+
+    def test_task_timeout_raises_after_retries(self, two_cores):
+        with pytest.raises(TaskTimeout, match="exceeded"):
+            parallel_map(_sleepy, [0, 1], workers=2, task_timeout=0.25)
+
+    def test_task_timeout_recovers_when_retry_is_fast(self, two_cores, tmp_path):
+        sentinel = str(tmp_path / "slow")
+        tasks = [(x, sentinel) for x in range(2)]
+        with pytest.warns(UserWarning, match="restarting the pool"):
+            result = parallel_map(_slow_once, tasks, workers=2, task_timeout=0.5, retries=1)
+        assert result == [0, 1]
+
+    def test_finished_work_survives_a_task_failure(self, two_cores, tmp_path):
+        # Task 1 fails with no retries; results already computed by the
+        # pool must still reach on_result before the error propagates.
+        seen = {}
+        sentinel = str(tmp_path / "never-created-so-always-raises")
+
+        def record(index, value):
+            seen[index] = value
+
+        with pytest.raises(ValueError, match="transient failure"):
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("ignore")
+                parallel_map(
+                    _always_flaky, [(x, sentinel) for x in range(4)],
+                    workers=2, on_result=record,
+                )
+        assert all(seen[i] == i * i for i in seen)
+
+
+def _always_flaky(args):
+    x, _ = args
+    if x == 1:
+        time.sleep(0.2)  # let some siblings finish first
+        raise ValueError("transient failure")
+    return x * x
