@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Run the train-step benchmark and write ``BENCH_trainstep.json`` at
+the repo root.
+
+Usage::
+
+    python scripts/bench_trainstep.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.bench_trainstep import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Guard against train-step performance regressions.
+
+Re-runs the train-step benchmark and compares the measured speedups
+against the committed ``BENCH_trainstep.json`` baseline.  Absolute step
+times are machine-dependent, so only the *speedup ratios* are compared:
+a fresh speedup may drift down to ``TOLERANCE`` (default 0.75) times
+the committed value before the check fails.  The headline
+deep-taped-regime speedup must additionally stay at or above the 1.5x
+acceptance floor regardless of what the baseline recorded.
+
+Usage::
+
+    python scripts/check_bench.py            # full benchmark (slower)
+    python scripts/check_bench.py --quick    # fewer repeats
+    pytest scripts/check_bench.py -m perf    # same check under pytest
+
+Exit status is non-zero when any workload regresses.  After an
+intentional performance change, refresh the baseline with
+``python scripts/bench_trainstep.py`` and commit the new JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import pytest  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_trainstep.json"
+
+# A fresh speedup may drop to this fraction of the committed one before
+# the check fails — wide enough for cross-machine and scheduler noise,
+# tight enough to catch a real regression (e.g. the fused path silently
+# falling back to the legacy tape).
+TOLERANCE = 0.75
+
+# The deep taped regime must keep the acceptance-floor speedup outright.
+HEADLINE_FLOOR = 1.5
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> Dict[str, object]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed baseline at {path}; run scripts/bench_trainstep.py first"
+        )
+    return json.loads(path.read_text())
+
+
+def compare(fresh: Dict[str, object], baseline: Dict[str, object], tolerance: float = TOLERANCE) -> List[str]:
+    """Regression messages (empty when the fresh run holds the baseline)."""
+    failures = []
+    for name, base in baseline["workloads"].items():
+        current = fresh["workloads"].get(name)
+        if current is None:
+            failures.append(f"{name}: workload missing from fresh benchmark run")
+            continue
+        floor = base["speedup"] * tolerance
+        if current["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {current['speedup']:.2f}x fell below "
+                f"{floor:.2f}x ({tolerance:.0%} of committed {base['speedup']:.2f}x)"
+            )
+    headline = fresh.get("trainstep_speedup", 0.0)
+    if headline < HEADLINE_FLOOR:
+        failures.append(
+            f"headline: deep taped regime {headline:.2f}x is below the "
+            f"{HEADLINE_FLOOR:.1f}x acceptance floor"
+        )
+    return failures
+
+
+def run_check(quick: bool = False, tolerance: float = TOLERANCE) -> List[str]:
+    from benchmarks.bench_trainstep import run_benchmark
+
+    baseline = load_baseline()
+    fresh = run_benchmark(quick=quick)
+    for name, workload in fresh["workloads"].items():
+        base = baseline["workloads"].get(name, {})
+        print(
+            f"{name:11s} fresh {workload['speedup']:5.2f}x  "
+            f"committed {base.get('speedup', float('nan')):5.2f}x"
+        )
+    return compare(fresh, baseline, tolerance=tolerance)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="fewer timing repeats")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=TOLERANCE,
+        help="allowed fraction of the committed speedup (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    failures = run_check(quick=args.quick, tolerance=args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark holds the committed baseline")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entries (perf-marked; excluded from the tier-1 run)
+# ----------------------------------------------------------------------
+@pytest.mark.perf
+def test_bench_holds_committed_baseline():
+    failures = run_check(quick=True)
+    assert not failures, failures
+
+
+def test_compare_flags_regressions():
+    baseline = {"workloads": {"gcn": {"speedup": 1.6}}, "trainstep_speedup": 1.6}
+    fresh_ok = {"workloads": {"gcn": {"speedup": 1.5}}, "trainstep_speedup": 1.5}
+    assert compare(fresh_ok, baseline) == []
+    fresh_slow = {"workloads": {"gcn": {"speedup": 1.0}}, "trainstep_speedup": 1.0}
+    messages = compare(fresh_slow, baseline)
+    assert len(messages) == 2  # band violation + headline floor
+    fresh_missing = {"workloads": {}, "trainstep_speedup": 1.6}
+    assert any("missing" in m for m in compare(fresh_missing, baseline))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

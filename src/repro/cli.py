@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute dtype (default float64; float32 is faster)",
     )
     run.add_argument(
+        "--fused", action=argparse.BooleanOptionalAction, default=None,
+        help="fused training-step kernels (default on; --no-fused falls back "
+             "to the legacy op-by-op tape — results are bitwise identical)",
+    )
+    run.add_argument(
         "--checkpoint-dir", type=str, default=None,
         help="persist each completed seed cell here (atomic, checksummed) "
              "so a crashed run can resume from its last completed unit of work",
@@ -125,6 +130,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         dropout=args.dropout,
         workers=args.workers,
         dtype=args.dtype,
+        fused=args.fused,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         task_retries=args.task_retries,

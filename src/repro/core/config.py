@@ -75,6 +75,10 @@ class RDDConfig:
     # Record per-epoch loss/val-accuracy history on every student's
     # TrainResult (golden-trajectory regression fixtures rely on this).
     record_history: bool = False
+    # Fused training-step kernels: True/False forces the fused/legacy
+    # tape for every student; None keeps the process default (fused on).
+    # The two paths are bitwise identical — see repro.tensor.fused.
+    fused: "bool | None" = None
 
     def __post_init__(self) -> None:
         if self.num_base_models < 1:

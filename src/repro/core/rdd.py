@@ -140,6 +140,7 @@ class RDDTrainer:
             weight_decay=config.weight_decay,
             share_eval_forward=config.share_eval_forward,
             record_history=config.record_history,
+            fused=config.fused,
         )
         pagerank = graph.pagerank()
         edge_src, edge_dst = graph.edge_list()

@@ -77,9 +77,29 @@ def entropy_threshold_mask(entropies: np.ndarray, percent: float, lowest: bool) 
     mask = np.zeros(n, dtype=bool)
     if count == 0:
         return mask
-    order = np.argsort(entropies, kind="stable")
-    chosen = order[:count] if lowest else order[-count:]
-    mask[chosen] = True
+    if count >= n:
+        mask[:] = True
+        return mask
+    # O(n) selection instead of a full stable argsort.  A stable argsort
+    # breaks boundary ties by index: ``order[:count]`` keeps the
+    # *smallest* indices among nodes tied at the threshold entropy,
+    # ``order[-count:]`` keeps the *largest*.  Partitioning finds the
+    # threshold value; nodes strictly inside are taken wholesale and the
+    # tied remainder is filled index-first (or index-last) to reproduce
+    # the stable-sort selection exactly.
+    if lowest:
+        threshold = np.partition(entropies, count - 1)[count - 1]
+        strict = np.flatnonzero(entropies < threshold)
+        need = count - len(strict)
+        tied = np.flatnonzero(entropies == threshold)[:need]
+    else:
+        threshold = np.partition(entropies, n - count)[n - count]
+        strict = np.flatnonzero(entropies > threshold)
+        need = count - len(strict)
+        ties = np.flatnonzero(entropies == threshold)
+        tied = ties[len(ties) - need :]
+    mask[strict] = True
+    mask[tied] = True
     return mask
 
 

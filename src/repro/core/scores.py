@@ -33,7 +33,11 @@ def uncertainty_score(probs: np.ndarray, score: str = "entropy") -> np.ndarray:
     if score == "margin":
         if probs.shape[1] < 2:
             raise ConfigError("margin score needs at least two classes")
-        top_two = np.sort(probs, axis=1)[:, -2:]
+        # Partial selection: partitioning on the second-largest column
+        # puts it at position k-2 with everything after (only the max)
+        # ≥ it, so the top-two land in the last two columns already
+        # ordered — same values as a full row sort at O(k) per row.
+        top_two = np.partition(probs, probs.shape[1] - 2, axis=1)[:, -2:]
         return 1.0 - (top_two[:, 1] - top_two[:, 0])
     if score == "confidence":
         return 1.0 - probs.max(axis=1)

@@ -60,6 +60,11 @@ class HarnessConfig:
         Share the trainer's validation forward with RDD's reliability
         refresh (2 full-graph forwards per epoch); False reproduces the
         legacy 3-forward schedule.
+    fused:
+        Fused training-step kernels: True/False forces the fused/legacy
+        autodiff tape; None (default) keeps the process default (fused
+        on).  Bitwise identical either way — excluded from the
+        fingerprint like the other execution knobs.
     checkpoint_dir / resume:
         When ``checkpoint_dir`` is set, every :func:`run_over_seeds`
         loop persists each completed seed cell (atomic, checksummed —
@@ -86,6 +91,7 @@ class HarnessConfig:
     workers: int = 1
     dtype: Optional[str] = None
     share_eval_forward: bool = True
+    fused: Optional[bool] = None
     checkpoint_dir: Optional[str] = None
     resume: bool = True
     task_retries: int = 0
@@ -99,6 +105,7 @@ class HarnessConfig:
             lr=self.lr,
             weight_decay=self.weight_decay,
             share_eval_forward=self.share_eval_forward,
+            fused=self.fused,
         )
 
     def rdd_config(self, **overrides) -> RDDConfig:
@@ -111,6 +118,7 @@ class HarnessConfig:
             lr=self.lr,
             weight_decay=self.weight_decay,
             share_eval_forward=self.share_eval_forward,
+            fused=self.fused,
         )
         base.update(overrides)
         return RDDConfig(**base)

@@ -16,7 +16,7 @@ import scipy.sparse as sp
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.tensor import ops
+from repro.tensor import fused, ops
 from repro.tensor.sparse import sparse_dense_matmul, sparse_feature_matmul, spmm
 from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled
 
@@ -61,6 +61,8 @@ class Linear(Module):
     def forward(self, x: FeatureInput) -> Tensor:
         if not is_grad_enabled():
             return Tensor._from_array(_affine_inference(x, self.weight, self.bias))
+        if fused.fused_ops_enabled():
+            return fused.linear(x, self.weight, self.bias)
         out = _feature_matmul(x, self.weight)
         if self.bias is not None:
             out = ops.add(out, self.bias)
@@ -88,6 +90,8 @@ class GraphConvolution(Module):
             if self.bias is not None:
                 out += self.bias.data
             return Tensor._from_array(out)
+        if fused.fused_ops_enabled():
+            return fused.gcn_layer(adjacency, x, self.weight, self.bias)
         support = _feature_matmul(x, self.weight)
         out = spmm(adjacency, support)
         if self.bias is not None:
@@ -181,8 +185,20 @@ class Dropout(Module):
                     mask = self.rng.random(x.nnz, dtype=np.float32) < keep
                 else:
                     mask = self.rng.random(x.nnz) < keep
+                dropped = x.data * mask / keep
+                if fused.fused_ops_enabled():
+                    # The index arrays are reused verbatim from a valid
+                    # CSR matrix, so re-validating them in __init__ is
+                    # pure overhead on the train-step hot path; build
+                    # the container directly around them.
+                    out = sp.csr_matrix.__new__(sp.csr_matrix)
+                    out.data = dropped
+                    out.indices = x.indices
+                    out.indptr = x.indptr
+                    out._shape = x.shape
+                    return out
                 return sp.csr_matrix(
-                    (x.data * mask / keep, x.indices, x.indptr),
+                    (dropped, x.indices, x.indptr),
                     shape=x.shape,
                     copy=False,
                 )
@@ -190,4 +206,6 @@ class Dropout(Module):
             mask = self.rng.random(x.nnz) < keep
             x.data = x.data * mask / keep
             return x.tocsr()
+        if fused.fused_ops_enabled():
+            return fused.dropout(as_tensor(x), self.rate, self.rng, training=self.training)
         return ops.dropout(as_tensor(x), self.rate, self.rng, training=self.training)

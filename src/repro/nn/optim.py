@@ -37,10 +37,16 @@ class Optimizer:
             self._scratch[id(param)] = buffers
         return buffers
 
-    def zero_grad(self) -> None:
-        """Clear gradients on all managed parameters."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients on all managed parameters.
+
+        ``set_to_none=True`` (default) drops the grad arrays rather than
+        zero-filling them; backward then writes into recycled arena
+        buffers, so no time is spent zeroing memory that is about to be
+        overwritten.
+        """
         for param in self.parameters:
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         raise NotImplementedError

@@ -7,13 +7,19 @@ Public surface:
 * :mod:`repro.tensor.sparse` — sparse-dense products for graph convolutions;
 * :mod:`repro.tensor.functional` — losses (cross entropy, distillation MSE,
   edge regularization, KL) and metrics;
-* :mod:`repro.tensor.gradcheck` — finite-difference gradient verification.
+* :mod:`repro.tensor.gradcheck` — finite-difference gradient verification;
+* :mod:`repro.tensor.fused` — fused training-step kernels (single-node
+  softmax cross entropy, linear, GCN layer) plus the fused/legacy switch;
+* :class:`GradArena` — gradient-buffer arena with a cached backward
+  schedule for structurally static training loops.
 """
 
-from repro.tensor import functional, ops
+from repro.tensor import functional, fused, ops
+from repro.tensor.fused import fused_ops_enabled, set_fused_ops, use_fused_ops
 from repro.tensor.gradcheck import check_gradients, numerical_gradient
 from repro.tensor.sparse import sparse_feature_matmul, spmm
 from repro.tensor.tensor import (
+    GradArena,
     Tensor,
     as_tensor,
     default_dtype,
@@ -31,6 +37,11 @@ __all__ = [
     "unbroadcast",
     "ops",
     "functional",
+    "fused",
+    "fused_ops_enabled",
+    "set_fused_ops",
+    "use_fused_ops",
+    "GradArena",
     "spmm",
     "sparse_feature_matmul",
     "check_gradients",

@@ -17,7 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.tensor import ops
+from repro.tensor import fused, ops
 from repro.tensor.tensor import Tensor, as_tensor, get_default_dtype
 
 _EPS = 1e-12
@@ -49,10 +49,17 @@ def masked_cross_entropy_logits(logits: Tensor, labels: np.ndarray, index: np.nd
     handful.  Because log-softmax is row-wise and the index rows are
     unique, both the loss and the gradient reaching ``logits`` are
     bitwise identical to the full-matrix formulation.
+
+    When fused kernels are enabled (the default) the whole gather →
+    log-softmax → NLL chain is emitted as the single
+    :func:`repro.tensor.fused.softmax_cross_entropy` tape node, which is
+    itself bitwise identical to the elementary chain.
     """
     index = np.asarray(index, dtype=np.int64)
     if index.size == 0:
         return Tensor(0.0)
+    if fused.fused_ops_enabled():
+        return fused.softmax_cross_entropy(logits, labels, index)
     rows = ops.log_softmax(ops.gather(logits, index), axis=1)
     return cross_entropy(rows, np.asarray(labels)[index])
 

@@ -18,7 +18,8 @@ from repro.models.base import GraphModel
 from repro.nn.optim import Adam
 from repro.nn.schedules import EarlyStopping
 from repro.tensor.functional import accuracy, masked_cross_entropy_logits
-from repro.tensor.tensor import Tensor
+from repro.tensor.fused import use_fused_ops
+from repro.tensor.tensor import GradArena, Tensor
 from repro.testing.faults import fault_point
 from repro.training.records import TrainResult
 
@@ -63,6 +64,12 @@ class Trainer:
     record_history:
         When True the returned :class:`TrainResult` carries per-epoch
         train/val metrics (used by the examples and diagnostics).
+    fused:
+        ``True``/``False`` forces the fused training-step kernels on or
+        off for the duration of :meth:`fit`; ``None`` (default) keeps
+        the process-wide setting (fused on).  Both paths are bitwise
+        identical — the flag exists for differential testing and
+        benchmarking the legacy op-by-op tape.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class Trainer:
         record_history: bool = False,
         min_epochs: Optional[int] = None,
         share_eval_forward: bool = True,
+        fused: Optional[bool] = None,
     ):
         if max_epochs < 1:
             raise TrainingError(f"max_epochs must be >= 1, got {max_epochs}")
@@ -90,6 +98,7 @@ class Trainer:
         # one forward per epoch.  False reproduces the legacy schedule
         # where the callback runs its own eval forward.
         self.share_eval_forward = share_eval_forward
+        self.fused = fused
 
     def fit(
         self,
@@ -125,37 +134,43 @@ class Trainer:
         wants_logits = epoch_callback is not None and _callback_wants_logits(epoch_callback)
         share_logits = wants_logits and self.share_eval_forward
         eval_logits = None
+        # One arena per fit: gradient buffers are recycled step to step,
+        # and — since the per-epoch op graph is structurally static — the
+        # backward schedule is derived once and replayed thereafter.
+        arena = GradArena()
 
         epochs_run = 0
-        for epoch in range(self.max_epochs):
-            fault_point("trainer:epoch", key=epoch)
-            epochs_run = epoch + 1
-            if epoch_callback is not None:
-                if share_logits:
-                    if eval_logits is None:  # bootstrap forward for epoch 0 only
-                        eval_logits = model.predict_logits(graph)
-                    epoch_callback(epoch, model, eval_logits)
-                elif wants_logits:
-                    epoch_callback(epoch, model, None)
-                else:
-                    epoch_callback(epoch, model)
+        with use_fused_ops(self.fused):
+            for epoch in range(self.max_epochs):
+                fault_point("trainer:epoch", key=epoch)
+                epochs_run = epoch + 1
+                if epoch_callback is not None:
+                    if share_logits:
+                        if eval_logits is None:  # bootstrap forward for epoch 0 only
+                            eval_logits = model.predict_logits(graph)
+                        epoch_callback(epoch, model, eval_logits)
+                    elif wants_logits:
+                        epoch_callback(epoch, model, None)
+                    else:
+                        epoch_callback(epoch, model)
 
-            model.train()
-            logits = model(graph)
-            loss = loss_fn(model, logits, epoch)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
+                model.train()
+                with arena.record():
+                    logits = model(graph)
+                    loss = loss_fn(model, logits, epoch)
+                optimizer.zero_grad()
+                arena.backward(loss)
+                optimizer.step()
 
-            eval_logits = model.predict_logits(graph)
-            val_acc = accuracy(eval_logits, graph.labels, graph.val_index)
-            if self.record_history:
-                history.append({"epoch": epoch, "loss": loss.item(), "val_accuracy": val_acc})
-            should_stop = stopper.update(val_acc, epoch)
-            if stopper.improved:
-                best_state = model.state_dict()
-            if should_stop and epoch + 1 >= self.min_epochs:
-                break
+                eval_logits = model.predict_logits(graph)
+                val_acc = accuracy(eval_logits, graph.labels, graph.val_index)
+                if self.record_history:
+                    history.append({"epoch": epoch, "loss": loss.item(), "val_accuracy": val_acc})
+                should_stop = stopper.update(val_acc, epoch)
+                if stopper.improved:
+                    best_state = model.state_dict()
+                if should_stop and epoch + 1 >= self.min_epochs:
+                    break
 
         model.load_state_dict(best_state)
         predictions = model.predict_logits(graph)

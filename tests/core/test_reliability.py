@@ -232,3 +232,77 @@ class TestEdgeReliability:
         # Every surviving edge satisfies both conditions.
         assert np.all(reliable[r_src] & reliable[r_dst])
         assert np.all(pred[r_src] == pred[r_dst])
+
+
+class TestEntropyThresholdMaskPartitionParity:
+    """The argpartition-based selection must pick the exact node set the
+    old full stable argsort picked, tie behaviour included: boundary
+    ties resolve to the smallest indices for lowest-p selection and the
+    largest indices for highest-p selection."""
+
+    @staticmethod
+    def argsort_reference(entropies, percent, lowest):
+        n = len(entropies)
+        count = int(round(n * percent / 100.0))
+        mask = np.zeros(n, dtype=bool)
+        if count == 0:
+            return mask
+        order = np.argsort(entropies, kind="stable")
+        chosen = order[:count] if lowest else order[-count:]
+        mask[chosen] = True
+        return mask
+
+    def test_lowest_tie_takes_smallest_indices(self):
+        entropies = np.array([0.5, 0.2, 0.5, 0.2, 0.5])
+        mask = entropy_threshold_mask(entropies, 60.0, lowest=True)
+        # Two 0.2s enter outright; the tie at 0.5 resolves to index 0.
+        np.testing.assert_array_equal(mask, [True, True, False, True, False])
+
+    def test_highest_tie_takes_largest_indices(self):
+        entropies = np.array([0.5, 0.2, 0.5, 0.2, 0.5])
+        mask = entropy_threshold_mask(entropies, 60.0, lowest=False)
+        # All three 0.5s qualify for the top 3: indices 0, 2, 4.
+        np.testing.assert_array_equal(mask, [True, False, True, False, True])
+        mask = entropy_threshold_mask(entropies, 40.0, lowest=False)
+        # Top 2 of three tied 0.5s: the stable argsort kept the largest
+        # indices, 2 and 4.
+        np.testing.assert_array_equal(mask, [False, False, True, False, True])
+
+    def test_all_tied(self):
+        entropies = np.full(6, 0.3)
+        np.testing.assert_array_equal(
+            entropy_threshold_mask(entropies, 50.0, lowest=True),
+            [True, True, True, False, False, False],
+        )
+        np.testing.assert_array_equal(
+            entropy_threshold_mask(entropies, 50.0, lowest=False),
+            [False, False, False, True, True, True],
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        percent=st.sampled_from([0.0, 7.0, 25.0, 40.0, 50.0, 93.0, 100.0]),
+        lowest=st.booleans(),
+    )
+    def test_property_matches_stable_argsort(self, seed, percent, lowest):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        # Draw from a tiny value set so boundary ties are the common
+        # case rather than the exception.
+        entropies = rng.choice([0.1, 0.2, 0.2, 0.3, 0.3, 0.3], size=n)
+        fast = entropy_threshold_mask(entropies, percent, lowest)
+        reference = self.argsort_reference(entropies, percent, lowest)
+        np.testing.assert_array_equal(fast, reference)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_matches_on_distinct_values(self, seed):
+        rng = np.random.default_rng(seed)
+        entropies = rng.permutation(np.linspace(0.0, 1.0, 37))
+        for percent in (13.0, 40.0, 87.0):
+            for lowest in (True, False):
+                np.testing.assert_array_equal(
+                    entropy_threshold_mask(entropies, percent, lowest),
+                    self.argsort_reference(entropies, percent, lowest),
+                )

@@ -78,3 +78,34 @@ class TestScoreIntegration:
         )
         result = train_rdd(tiny_graph, config, seed=0)
         assert 0.0 <= result.ensemble_test_accuracy <= 1.0
+
+
+class TestMarginPartitionParity:
+    """The argpartition-based top-two margin must equal the full-sort
+    formulation exactly (same floats, not just close)."""
+
+    @staticmethod
+    def sort_reference(probs):
+        top_two = np.sort(probs, axis=1)[:, -2:]
+        return 1.0 - (top_two[:, 1] - top_two[:, 0])
+
+    def test_two_classes(self):
+        probs = np.array([[0.9, 0.1], [0.5, 0.5], [0.2, 0.8]])
+        np.testing.assert_array_equal(
+            uncertainty_score(probs, "margin"), self.sort_reference(probs)
+        )
+
+    def test_tied_maxima(self):
+        probs = np.array([[0.4, 0.4, 0.2], [1 / 3, 1 / 3, 1 / 3]])
+        np.testing.assert_array_equal(
+            uncertainty_score(probs, "margin"), self.sort_reference(probs)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(2, 12))
+    def test_property_matches_full_sort(self, seed, k):
+        rng = np.random.default_rng(seed)
+        probs = rng.dirichlet(np.ones(k), size=int(rng.integers(1, 40)))
+        np.testing.assert_array_equal(
+            uncertainty_score(probs, "margin"), self.sort_reference(probs)
+        )

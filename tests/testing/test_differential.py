@@ -21,7 +21,9 @@ from repro import models
 from repro.datasets.citation import cora_like
 from repro.evaluation.common import HarnessConfig, load_graphs, run_over_seeds, run_rdd
 from repro.models.base import softmax_rows
+from repro.core import RDDConfig, RDDTrainer
 from repro.training import parallel
+from repro.training.trainer import Trainer
 from repro.training.records import results_bitwise_equal
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
@@ -99,3 +101,29 @@ class TestWorkerCountParity:
         assert len(serial) == len(pooled) == 3
         for a, b in zip(serial, pooled):
             assert results_bitwise_equal(a, b)
+
+
+class TestFusedVsLegacyTraining:
+    """The fused training-step kernels (and the gradient-buffer arena
+    they run under) must leave every trained model bitwise identical to
+    the legacy op-by-op tape — the guarantee that lets the fused path be
+    the default."""
+
+    @pytest.mark.parametrize("name", MODEL_ZOO)
+    def test_zoo_trains_bitwise_identical(self, name, graph):
+        def train(fused):
+            model = make_model(name, graph)
+            trainer = Trainer(max_epochs=8, patience=8, record_history=True, fused=fused)
+            return trainer.fit(model, graph)
+
+        assert results_bitwise_equal(train(True), train(False))
+
+    def test_rdd_trains_bitwise_identical(self, graph):
+        def run(fused):
+            config = RDDConfig(
+                num_base_models=2, max_epochs=6, patience=6, hidden=8,
+                record_history=True, fused=fused,
+            )
+            return RDDTrainer(config).fit(graph, seed=0)
+
+        assert results_bitwise_equal(run(True), run(False))
