@@ -1,0 +1,190 @@
+"""Serving benchmark: micro-batched vs unbatched prediction throughput.
+
+Measures the prediction engine under closed-loop concurrent load — the
+workload an HTTP front end produces — in two configurations:
+
+* **unbatched** — every request runs the engine alone: with the logits
+  cache off (a stateless/inductive-style deployment), each request pays
+  its own full eval-mode forward pass;
+* **batched**   — requests flow through the :class:`MicroBatcher`, so
+  concurrent callers coalesce and each batch pays **one** forward shared
+  by up to ``max_batch_size`` requests.
+
+Both paths are bitwise identical in output (asserted before any timing).
+The benchmark reports throughput and p50/p99 latency for each mode plus
+the batched/unbatched throughput ratio — the headline number, floored at
+2.0x by the perf test and guarded against regression by
+``scripts/check_bench.py`` (``BENCH_serving.json`` is the committed
+baseline).
+
+Run ``python scripts/bench_serving.py`` (or this file's ``main``) to
+refresh the baseline.  The pytest entries are ``perf``-marked and
+excluded from tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+import pytest
+
+from repro.datasets import cora_like
+from repro.models.gcn import GCN
+from repro.serving.artifacts import ModelSpec, export_model_artifact
+from repro.serving.batching import MicroBatcher
+from repro.serving.engine import PredictionEngine
+from repro.serving.metrics import ServingMetrics
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+CONCURRENCY = 8
+NODES_PER_REQUEST = 8
+MAX_BATCH_SIZE = 16
+MAX_WAIT_S = 0.002
+
+
+def _build_engine(scale: float) -> PredictionEngine:
+    """An engine over a freshly exported artifact (weights untrained —
+    serving cost is architecture-, not accuracy-, dependent).
+
+    The served model is a 4-layer, width-64 GCN: a production-weight
+    forward (~5 ms on full-scale Cora) so the measurement captures the
+    regime batching exists for — compute-dominated requests — rather
+    than queue ping-pong around a sub-millisecond kernel.
+    """
+    graph = cora_like(seed=0, scale=scale)
+    spec = ModelSpec("gcn", {"hidden": [64, 64, 64], "num_layers": 4})
+    model = GCN(
+        graph.num_features, graph.num_classes, np.random.default_rng(0),
+        hidden=[64, 64, 64], num_layers=4,
+    )
+    model.eval()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = export_model_artifact(Path(tmp) / "bench.rddart", model, spec, graph)
+        artifact_engine = PredictionEngine(path, graph, cache_logits=False)
+    return artifact_engine
+
+
+def _make_requests(num_nodes: int, per_thread: int, rng: np.random.Generator) -> List[List[np.ndarray]]:
+    return [
+        [rng.integers(0, num_nodes, size=NODES_PER_REQUEST) for _ in range(per_thread)]
+        for _ in range(CONCURRENCY)
+    ]
+
+
+def _drive(requests: List[List[np.ndarray]], call: Callable[[np.ndarray], np.ndarray]) -> Dict[str, float]:
+    """Closed-loop load: CONCURRENCY threads, each issuing its requests
+    back to back; returns throughput + latency percentiles."""
+    latencies: List[List[float]] = [[] for _ in range(CONCURRENCY)]
+    errors: List[BaseException] = []
+
+    def client(thread_index: int) -> None:
+        try:
+            for nodes in requests[thread_index]:
+                started = time.perf_counter()
+                call(nodes)
+                latencies[thread_index].append(time.perf_counter() - started)
+        except BaseException as error:  # surface in the main thread
+            errors.append(error)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(CONCURRENCY)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    flat = np.asarray([latency for per_thread in latencies for latency in per_thread])
+    return {
+        "requests": int(flat.size),
+        "wall_s": wall,
+        "rps": float(flat.size / wall),
+        "p50_ms": float(np.percentile(flat, 50) * 1000.0),
+        "p99_ms": float(np.percentile(flat, 99) * 1000.0),
+    }
+
+
+def _assert_parity(engine: PredictionEngine, rng: np.random.Generator) -> None:
+    """Batched results must be bitwise identical to unbatched ones."""
+    probes = [rng.integers(0, engine.num_nodes, size=NODES_PER_REQUEST) for _ in range(24)]
+    expected = [engine.predict_nodes(nodes) for nodes in probes]
+    with MicroBatcher(
+        engine.predict_many, max_batch_size=MAX_BATCH_SIZE, max_wait_s=MAX_WAIT_S
+    ) as batcher:
+        futures = [batcher.submit(nodes) for nodes in probes]
+        for future, reference in zip(futures, expected):
+            assert np.array_equal(future.result(timeout=30), reference), (
+                "batched prediction diverged from unbatched"
+            )
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, object]:
+    # quick trims the request count, never the workload: the measured
+    # ratio must stay comparable to the committed full-run baseline.
+    engine = _build_engine(scale=1.0)
+    rng = np.random.default_rng(7)
+    _assert_parity(engine, rng)
+
+    per_thread = 40 if quick else 150
+    # Unbatched: every request pays its own forward (cache is off).
+    unbatched = _drive(
+        _make_requests(engine.num_nodes, per_thread, np.random.default_rng(11)),
+        engine.predict_nodes,
+    )
+    # Batched: concurrent requests coalesce onto shared forwards.
+    metrics = ServingMetrics()
+    with MicroBatcher(
+        engine.predict_many,
+        max_batch_size=MAX_BATCH_SIZE,
+        max_wait_s=MAX_WAIT_S,
+        metrics=metrics,
+    ) as batcher:
+        batched = _drive(
+            _make_requests(engine.num_nodes, per_thread, np.random.default_rng(11)),
+            lambda nodes: batcher.predict(nodes, timeout=60),
+        )
+    batch_summary = metrics.snapshot()["histograms"].get("batch_size", {})
+    return {
+        "graph": {"name": engine.graph.name, "nodes": engine.num_nodes},
+        "concurrency": CONCURRENCY,
+        "nodes_per_request": NODES_PER_REQUEST,
+        "max_batch_size": MAX_BATCH_SIZE,
+        "max_wait_ms": MAX_WAIT_S * 1000.0,
+        "unbatched": unbatched,
+        "batched": batched,
+        "mean_batch_size": batch_summary.get("mean", 1.0),
+        "batched_speedup": batched["rps"] / unbatched["rps"],
+    }
+
+
+def main() -> int:
+    results = run_benchmark()
+    OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nresults written to {OUTPUT_PATH}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entries (perf-marked; excluded from tier-1)
+# ----------------------------------------------------------------------
+@pytest.mark.perf
+def test_batched_throughput_beats_unbatched():
+    results = run_benchmark(quick=True)
+    assert results["batched_speedup"] >= 2.0, (
+        f"batched serving is only {results['batched_speedup']:.2f}x unbatched "
+        f"at concurrency {CONCURRENCY} (acceptance floor 2.0x)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

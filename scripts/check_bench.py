@@ -1,23 +1,31 @@
 #!/usr/bin/env python
-"""Guard against train-step performance regressions.
+"""Guard against performance regressions in the committed benchmarks.
 
-Re-runs the train-step benchmark and compares the measured speedups
-against the committed ``BENCH_trainstep.json`` baseline.  Absolute step
-times are machine-dependent, so only the *speedup ratios* are compared:
-a fresh speedup may drift down to ``TOLERANCE`` (default 0.75) times
-the committed value before the check fails.  The headline
-deep-taped-regime speedup must additionally stay at or above the 1.5x
-acceptance floor regardless of what the baseline recorded.
+Two benches are guarded, each against its committed baseline JSON:
+
+* **trainstep** (``BENCH_trainstep.json``) — fused-kernel vs legacy-tape
+  train-step speedups;
+* **serving** (``BENCH_serving.json``) — micro-batched vs unbatched
+  prediction throughput at concurrency 8.
+
+Absolute times are machine-dependent, so only the *speedup ratios* are
+compared: a fresh speedup may drift down to ``TOLERANCE`` (default 0.75)
+times the committed value before the check fails.  Each bench also keeps
+an absolute acceptance floor regardless of the baseline: 1.5x for the
+trainstep headline (deep taped regime), 2.0x for the serving
+batched/unbatched ratio.
 
 Usage::
 
-    python scripts/check_bench.py            # full benchmark (slower)
-    python scripts/check_bench.py --quick    # fewer repeats
-    pytest scripts/check_bench.py -m perf    # same check under pytest
+    python scripts/check_bench.py                    # both benches
+    python scripts/check_bench.py --bench serving    # one bench
+    python scripts/check_bench.py --quick            # fewer repeats
+    pytest scripts/check_bench.py -m perf            # same checks under pytest
 
 Exit status is non-zero when any workload regresses.  After an
 intentional performance change, refresh the baseline with
-``python scripts/bench_trainstep.py`` and commit the new JSON.
+``python scripts/bench_trainstep.py`` / ``python scripts/bench_serving.py``
+and commit the new JSON.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
 import pytest  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_trainstep.json"
+SERVING_BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
 
 # A fresh speedup may drop to this fraction of the committed one before
 # the check fails — wide enough for cross-machine and scheduler noise,
@@ -45,6 +54,10 @@ TOLERANCE = 0.75
 
 # The deep taped regime must keep the acceptance-floor speedup outright.
 HEADLINE_FLOOR = 1.5
+
+# Micro-batched serving must stay at least this much faster than
+# unbatched at the benchmark's concurrency, no matter the baseline.
+SERVING_FLOOR = 2.0
 
 
 def load_baseline(path: Path = BASELINE_PATH) -> Dict[str, object]:
@@ -92,9 +105,60 @@ def run_check(quick: bool = False, tolerance: float = TOLERANCE) -> List[str]:
     return compare(fresh, baseline, tolerance=tolerance)
 
 
+# ----------------------------------------------------------------------
+# Serving bench (BENCH_serving.json)
+# ----------------------------------------------------------------------
+def load_serving_baseline(path: Path = SERVING_BASELINE_PATH) -> Dict[str, object]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed baseline at {path}; run scripts/bench_serving.py first"
+        )
+    return json.loads(path.read_text())
+
+
+def compare_serving(
+    fresh: Dict[str, object], baseline: Dict[str, object], tolerance: float = TOLERANCE
+) -> List[str]:
+    """Regression messages for the serving bench (empty when it holds)."""
+    failures = []
+    floor = baseline["batched_speedup"] * tolerance
+    speedup = fresh["batched_speedup"]
+    if speedup < floor:
+        failures.append(
+            f"serving: batched speedup {speedup:.2f}x fell below {floor:.2f}x "
+            f"({tolerance:.0%} of committed {baseline['batched_speedup']:.2f}x)"
+        )
+    if speedup < SERVING_FLOOR:
+        failures.append(
+            f"serving: batched speedup {speedup:.2f}x is below the "
+            f"{SERVING_FLOOR:.1f}x acceptance floor"
+        )
+    return failures
+
+
+def run_check_serving(quick: bool = False, tolerance: float = TOLERANCE) -> List[str]:
+    from benchmarks.bench_serving import run_benchmark as run_serving_benchmark
+
+    baseline = load_serving_baseline()
+    fresh = run_serving_benchmark(quick=quick)
+    print(
+        f"{'serving':11s} fresh {fresh['batched_speedup']:5.2f}x  "
+        f"committed {baseline['batched_speedup']:5.2f}x  "
+        f"(batched {fresh['batched']['rps']:.0f} rps, "
+        f"unbatched {fresh['unbatched']['rps']:.0f} rps)"
+    )
+    return compare_serving(fresh, baseline, tolerance=tolerance)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="fewer timing repeats")
+    parser.add_argument(
+        "--bench",
+        choices=["trainstep", "serving", "all"],
+        default="all",
+        help="which committed baseline(s) to check (default: all)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -102,7 +166,11 @@ def main(argv=None) -> int:
         help="allowed fraction of the committed speedup (default %(default)s)",
     )
     args = parser.parse_args(argv)
-    failures = run_check(quick=args.quick, tolerance=args.tolerance)
+    failures = []
+    if args.bench in ("trainstep", "all"):
+        failures += run_check(quick=args.quick, tolerance=args.tolerance)
+    if args.bench in ("serving", "all"):
+        failures += run_check_serving(quick=args.quick, tolerance=args.tolerance)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -118,6 +186,21 @@ def main(argv=None) -> int:
 def test_bench_holds_committed_baseline():
     failures = run_check(quick=True)
     assert not failures, failures
+
+
+@pytest.mark.perf
+def test_serving_holds_committed_baseline():
+    failures = run_check_serving(quick=True)
+    assert not failures, failures
+
+
+def test_compare_serving_flags_regressions():
+    baseline = {"batched_speedup": 6.0}
+    assert compare_serving({"batched_speedup": 5.0}, baseline) == []
+    band = compare_serving({"batched_speedup": 4.0}, baseline)
+    assert len(band) == 1 and "75%" in band[0]
+    floor = compare_serving({"batched_speedup": 1.5}, baseline)
+    assert len(floor) == 2 and any("acceptance floor" in m for m in floor)
 
 
 def test_compare_flags_regressions():

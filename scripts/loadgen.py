@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""HTTP load generator for a running ``repro serve`` instance.
+
+Closed-loop load: ``--concurrency`` client threads each issue
+``--requests`` POSTs to ``/predict`` with random node ids, then the tool
+reports throughput and latency percentiles and (optionally) the server's
+own ``/metrics`` snapshot.  Stdlib only — point it at any host.
+
+Usage::
+
+    python -m repro serve --artifact model.rddart --port 8080 &
+    python scripts/loadgen.py --url http://127.0.0.1:8080 \
+        --requests 200 --concurrency 8 --out loadgen.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import List
+
+
+def _get_json(url: str, timeout: float = 10.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _post_json(url: str, body: dict, timeout: float = 30.0) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def run_load(
+    url: str,
+    requests_per_thread: int,
+    concurrency: int,
+    nodes_per_request: int,
+    num_nodes: int,
+    seed: int = 0,
+) -> dict:
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    failures: List[str] = []
+
+    def client(thread_index: int) -> None:
+        rng = random.Random(f"{seed}:{thread_index}")
+        for _ in range(requests_per_thread):
+            nodes = [rng.randrange(num_nodes) for _ in range(nodes_per_request)]
+            started = time.perf_counter()
+            try:
+                _post_json(f"{url}/predict", {"nodes": nodes})
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                failures.append(str(error))
+                return
+            latencies[thread_index].append(time.perf_counter() - started)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    flat = sorted(latency for per_thread in latencies for latency in per_thread)
+    if not flat:
+        raise SystemExit(f"every request failed; first error: {failures[0] if failures else '?'}")
+
+    def percentile(p: float) -> float:
+        return flat[min(len(flat) - 1, int(round(p / 100.0 * (len(flat) - 1))))]
+
+    return {
+        "url": url,
+        "concurrency": concurrency,
+        "nodes_per_request": nodes_per_request,
+        "requests": len(flat),
+        "failures": len(failures),
+        "wall_s": wall,
+        "rps": len(flat) / wall,
+        "p50_ms": percentile(50) * 1000.0,
+        "p90_ms": percentile(90) * 1000.0,
+        "p99_ms": percentile(99) * 1000.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", type=str, default="http://127.0.0.1:8080", help="server base URL")
+    parser.add_argument("--requests", type=int, default=100, help="requests per client thread")
+    parser.add_argument("--concurrency", type=int, default=8, help="client threads")
+    parser.add_argument("--nodes-per-request", type=int, default=8, help="node ids per /predict")
+    parser.add_argument("--seed", type=int, default=0, help="request-stream seed")
+    parser.add_argument("--out", type=str, default=None, help="write the summary as JSON here")
+    parser.add_argument(
+        "--metrics", action="store_true", help="also print the server's /metrics snapshot"
+    )
+    args = parser.parse_args(argv)
+
+    health = _get_json(f"{args.url}/healthz")
+    if health.get("status") != "ok":
+        print(f"server unhealthy: {health}", file=sys.stderr)
+        return 1
+    num_nodes = int(health["nodes"])
+    print(f"target: {health.get('model')} over {num_nodes} nodes at {args.url}")
+
+    summary = run_load(
+        args.url, args.requests, args.concurrency, args.nodes_per_request, num_nodes, args.seed
+    )
+    print(json.dumps(summary, indent=2))
+    if args.metrics:
+        print(json.dumps(_get_json(f"{args.url}/metrics"), indent=2))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"summary written to {args.out}")
+    return 1 if summary["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI smoke test: export a tiny artifact, serve it, hit the endpoints.
+
+Covers the full train→export→serve→query path in a few seconds:
+
+1. train a tiny GCN on a scaled-down Cora stand-in,
+2. export a serving artifact,
+3. start a :class:`PredictionServer` on a free port,
+4. assert 200s (and sane payloads) from ``/healthz``, ``/predict``
+   (transductive + inductive), and ``/metrics``.
+
+Exit status 0 on success; any assertion or HTTP failure is fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import cora_like  # noqa: E402
+from repro.models.gcn import GCN  # noqa: E402
+from repro.serving import (  # noqa: E402
+    ModelSpec,
+    PredictionEngine,
+    PredictionServer,
+    export_model_artifact,
+)
+from repro.training.trainer import Trainer  # noqa: E402
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url: str, body: dict):
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(), headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def main() -> int:
+    graph = cora_like(seed=0, scale=0.1)
+    model = GCN(graph.num_features, graph.num_classes, np.random.default_rng(0))
+    Trainer(max_epochs=20, patience=10).fit(model, graph)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = export_model_artifact(
+            Path(tmp) / "smoke.rddart", model, ModelSpec("gcn"), graph,
+            dataset={"name": "cora", "kwargs": {"seed": 0, "scale": 0.1}, "dtype": None},
+        )
+        engine = PredictionEngine(path, graph)
+        with PredictionServer(engine, port=0).start() as server:
+            status, health = _get(f"{server.url}/healthz")
+            assert status == 200 and health["status"] == "ok", health
+            print(f"healthz ok: {health}")
+
+            status, predict = _post(f"{server.url}/predict", {"nodes": [0, 1, 2]})
+            assert status == 200 and len(predict["labels"]) == 3, predict
+            expected = engine.predict_nodes([0, 1, 2]).argmax(axis=1).tolist()
+            assert predict["labels"] == expected, (predict["labels"], expected)
+            print(f"predict ok: {predict}")
+
+            features = np.asarray(
+                graph.features[0].todense()
+            ).ravel() if hasattr(graph.features, "todense") else graph.features[0]
+            status, inductive = _post(
+                f"{server.url}/predict",
+                {"features": features.tolist(), "neighbors": [1, 2]},
+            )
+            assert status == 200 and "label" in inductive, inductive
+            print(f"inductive ok: {inductive}")
+
+            status, metrics = _get(f"{server.url}/metrics")
+            assert status == 200, metrics
+            assert metrics["counters"].get("requests_total", 0) >= 2, metrics
+            assert metrics["histograms"].get("latency_ms", {}).get("count", 0) >= 1, metrics
+            print(f"metrics ok: {metrics['counters']}")
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ Package map:
 * :mod:`repro.core`     — Reliable Data Distillation (the contribution)
 * :mod:`repro.training` — trainer loop, metrics, records, seeding
 * :mod:`repro.evaluation` — one harness per paper table/figure
+* :mod:`repro.serving`  — model artifacts, micro-batched prediction, HTTP API
 """
 
 from repro.core import (

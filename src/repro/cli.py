@@ -6,8 +6,13 @@ Usage::
     python -m repro run table3 --scale 0.2 --seeds 0 1 2 --out table3.json
     python -m repro run fig1 --max-epochs 120
     python -m repro datasets
+    python -m repro export --dataset cora --scale 0.2 --out model.rddart
+    python -m repro serve --artifact model.rddart --port 8080
 
 ``run`` prints the report table to stdout and optionally writes JSON.
+``export`` trains a model and writes a serving artifact; ``serve``
+answers ``/predict`` / ``/healthz`` / ``/metrics`` from one
+(:mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -101,7 +106,148 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a pooled seed cell may run before it is presumed lost and retried",
     )
     run.add_argument("--out", type=str, default=None, help="write the report as JSON here")
+
+    export = sub.add_parser(
+        "export",
+        help="train a model and export a serving artifact (see 'repro serve')",
+    )
+    export.add_argument("--dataset", type=str, default="cora", help="dataset stand-in to train on")
+    export.add_argument("--scale", type=float, default=0.2, help="dataset scale factor")
+    export.add_argument("--seed", type=int, default=0, help="dataset + training seed")
+    export.add_argument(
+        "--ensemble", type=int, default=0, metavar="T",
+        help="train an RDD ensemble of T base models (0 = single supervised GCN)",
+    )
+    export.add_argument("--hidden", type=int, default=16, help="GCN hidden width")
+    export.add_argument("--dropout", type=float, default=0.5, help="dropout rate")
+    export.add_argument("--max-epochs", type=int, default=100, help="training epochs")
+    export.add_argument("--patience", type=int, default=20, help="early-stopping patience")
+    export.add_argument(
+        "--dtype", choices=["float32", "float64"], default=None,
+        help="compute dtype for training and the exported weights",
+    )
+    export.add_argument("--out", type=str, required=True, help="artifact output path")
+
+    serve = sub.add_parser("serve", help="serve predictions from an exported artifact over HTTP")
+    serve.add_argument("--artifact", type=str, required=True, help="artifact written by 'repro export'")
+    serve.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = pick a free one)")
+    serve.add_argument(
+        "--dataset", type=str, default=None,
+        help="serving dataset (defaults to the dataset spec embedded in the artifact)",
+    )
+    serve.add_argument("--scale", type=float, default=None, help="dataset scale override")
+    serve.add_argument("--seed", type=int, default=None, help="dataset seed override")
+    serve.add_argument(
+        "--max-batch-size", type=int, default=32,
+        help="largest micro-batch shared by concurrent /predict calls",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long the batcher holds a request while coalescing (milliseconds)",
+    )
+    serve.add_argument(
+        "--batching", action=argparse.BooleanOptionalAction, default=True,
+        help="micro-batch concurrent requests (--no-batching serves each alone)",
+    )
     return parser
+
+
+def _cmd_export(args) -> int:
+    import numpy as np
+
+    from repro.datasets import load_dataset
+    from repro.models.gcn import GCN
+    from repro.serving.artifacts import ModelSpec, export_ensemble_artifact, export_model_artifact
+    from repro.tensor.tensor import default_dtype
+
+    dataset_kwargs = {"seed": args.seed, "scale": args.scale}
+    graph = load_dataset(args.dataset, dtype=args.dtype, **dataset_kwargs)
+    dataset_spec = {"name": args.dataset, "kwargs": dataset_kwargs, "dtype": args.dtype}
+
+    if args.ensemble > 0:
+        from repro.core.config import RDDConfig
+        from repro.core.ensemble import EnsembleModel
+        from repro.core.rdd import RDDTrainer
+        from repro.models.base import softmax_rows
+
+        config = RDDConfig(
+            num_base_models=args.ensemble,
+            max_epochs=args.max_epochs,
+            patience=args.patience,
+            hidden=args.hidden,
+            dropout=args.dropout,
+        )
+        with default_dtype(args.dtype):
+            result = RDDTrainer(config).fit(graph, seed=args.seed)
+            # Rebuild the teacher from the per-student best-checkpoint
+            # logits and α-weights the fit recorded — the same arrays
+            # RDDTrainer fed EnsembleModel.add, so the served teacher is
+            # bitwise the trained one.
+            teacher = EnsembleModel()
+            for base, weight in zip(result.base_results, result.ensemble_weights):
+                teacher.add(softmax_rows(base.predictions), base.predictions, float(weight))
+        path = export_ensemble_artifact(
+            args.out, teacher, graph, dataset=dataset_spec,
+            metadata={"test_accuracy": result.ensemble_test_accuracy},
+        )
+        accuracy = result.ensemble_test_accuracy
+    else:
+        from repro.training.trainer import Trainer
+
+        with default_dtype(args.dtype):
+            model = GCN(
+                graph.num_features, graph.num_classes, np.random.default_rng(args.seed),
+                hidden=args.hidden, dropout=args.dropout,
+            )
+            result = Trainer(max_epochs=args.max_epochs, patience=args.patience).fit(model, graph)
+        spec = ModelSpec("gcn", {"hidden": args.hidden, "dropout": args.dropout})
+        path = export_model_artifact(
+            args.out, model, spec, graph, dataset=dataset_spec,
+            metadata={"test_accuracy": result.test_accuracy},
+        )
+        accuracy = result.test_accuracy
+    print(f"artifact written to {path} (test accuracy {accuracy:.3f})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.datasets import load_dataset
+    from repro.errors import ConfigError
+    from repro.serving.artifacts import load_artifact
+    from repro.serving.engine import PredictionEngine
+    from repro.serving.server import PredictionServer
+
+    artifact = load_artifact(args.artifact)
+    dataset = artifact.dataset or {}
+    name = args.dataset or dataset.get("name")
+    if name is None:
+        raise ConfigError(
+            "the artifact embeds no dataset spec; pass --dataset (and --scale/--seed)"
+        )
+    kwargs = dict(dataset.get("kwargs") or {})
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    graph = load_dataset(name, dtype=dataset.get("dtype"), **kwargs)
+
+    engine = PredictionEngine(artifact, graph)
+    server = PredictionServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        batching=args.batching,
+        max_batch_size=args.max_batch_size,
+        max_wait_s=args.max_wait_ms / 1000.0,
+    )
+    print(
+        f"serving {artifact.model_kind} on {server.url} "
+        f"(graph {graph.name}: {graph.num_nodes} nodes; "
+        f"batching={'on' if args.batching else 'off'})"
+    )
+    server.serve_forever()
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -118,6 +264,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in available_datasets():
             print(name)
         return 0
+
+    if args.command == "export":
+        return _cmd_export(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     module, _ = EXPERIMENTS[args.experiment]
     config = HarnessConfig(

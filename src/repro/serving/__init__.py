@@ -1,0 +1,51 @@
+"""Inference serving: model artifacts, prediction engine, batching, HTTP.
+
+The subsystem that takes a trained RDD student or teacher from training
+to traffic::
+
+    from repro.serving import (
+        ModelSpec, export_model_artifact, load_artifact,
+        PredictionEngine, MicroBatcher, PredictionServer,
+    )
+
+    export_model_artifact("model.rddart", model, ModelSpec("gcn"), graph)
+    engine = PredictionEngine("model.rddart", graph)
+    PredictionServer(engine, port=8080).serve_forever()
+
+or, from the command line, ``repro export`` + ``repro serve``.
+"""
+
+from repro.serving.artifacts import (
+    ArtifactError,
+    ModelArtifact,
+    ModelSpec,
+    export_ensemble_artifact,
+    export_model_artifact,
+    graph_fingerprint,
+    load_artifact,
+    model_kinds,
+    register_model_kind,
+)
+from repro.serving.batching import BatcherClosed, MicroBatcher
+from repro.serving.engine import PredictionEngine, ServingError
+from repro.serving.metrics import ServingMetrics, WindowHistogram
+from repro.serving.server import PredictionServer
+
+__all__ = [
+    "ArtifactError",
+    "BatcherClosed",
+    "MicroBatcher",
+    "ModelArtifact",
+    "ModelSpec",
+    "PredictionEngine",
+    "PredictionServer",
+    "ServingError",
+    "ServingMetrics",
+    "WindowHistogram",
+    "export_ensemble_artifact",
+    "export_model_artifact",
+    "graph_fingerprint",
+    "load_artifact",
+    "model_kinds",
+    "register_model_kind",
+]

@@ -1,0 +1,225 @@
+"""Micro-batching: concurrent callers share one forward pass.
+
+A full-batch GCN computes *every* node's logits in one forward, so ten
+concurrent prediction requests answered independently cost ten forwards
+of which nine are pure waste.  The :class:`MicroBatcher` turns that
+waste into throughput: requests land on a queue, a worker drains up to
+``max_batch_size`` of them (waiting at most ``max_wait_s`` for
+stragglers once the first request of a batch arrives), and hands the
+whole batch to a single ``batch_fn`` call — for the prediction engine,
+:meth:`~repro.serving.engine.PredictionEngine.predict_many`, which pays
+one shared logits-table computation.
+
+Correctness contract:
+
+* **ordering / identity** — each request's result is routed back on its
+  own future; batching can never hand caller A caller B's rows.
+* **bitwise parity** — ``batch_fn`` must be deterministic per request
+  (the engine's eval-mode forwards are), so a batched response is
+  bitwise identical to the unbatched one.
+* **fault isolation** — a request that fails (including via the
+  ``serving:request`` fault point, see :mod:`repro.testing.faults`)
+  errors *its own* future; the rest of the batch completes and the
+  worker loop survives to serve the next batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.serving.metrics import ServingMetrics
+from repro.testing.faults import fault_point
+
+
+class BatcherClosed(ReproError):
+    """A request was submitted to a batcher that has been shut down."""
+
+
+@dataclass
+class _Pending:
+    """One enqueued request: payload + routing info."""
+
+    key: int  # arrival sequence number (also the fault-point key)
+    payload: object
+    future: Future = field(default_factory=Future)
+    submitted: float = field(default_factory=time.monotonic)
+
+
+_SHUTDOWN = object()
+
+
+class MicroBatcher:
+    """Queue requests; execute them in shared batches on worker threads.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``batch_fn(payloads) -> results`` executing a whole batch in one
+        call; must return exactly one result per payload, in order.
+    max_batch_size:
+        Largest batch handed to ``batch_fn``.
+    max_wait_s:
+        How long a worker holds the first request of a batch while
+        waiting for more to coalesce.  Bounds the latency cost of
+        batching; 0 batches only what is already queued.
+    workers:
+        Worker threads draining the queue.  One worker maximizes
+        coalescing; more help when ``batch_fn`` releases the GIL.
+    metrics:
+        Optional :class:`ServingMetrics` receiving request counts,
+        per-request latency, batch sizes, and error counts.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[Sequence[object]], Sequence[object]],
+        *,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        workers: int = 1,
+        metrics: Optional[ServingMetrics] = None,
+    ):
+        if max_batch_size < 1:
+            raise ReproError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s < 0:
+            raise ReproError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.batch_fn = batch_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.metrics = metrics
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._sequence = 0
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"microbatcher-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, payload: object) -> Future:
+        """Enqueue one request; returns a future resolving to its result."""
+        with self._lock:
+            if self._closed:
+                raise BatcherClosed("batcher is closed")
+            key = self._sequence
+            self._sequence += 1
+        if self.metrics is not None:
+            self.metrics.inc("requests_total")
+        pending = _Pending(key=key, payload=payload)
+        self._queue.put(pending)
+        return pending.future
+
+    def predict(self, payload: object, timeout: Optional[float] = None) -> object:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(payload).result(timeout=timeout)
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop accepting requests; drain workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _collect(self, first: _Pending) -> List[_Pending]:
+        """Coalesce queued requests behind ``first`` until size or deadline."""
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                item = self._queue.get(block=remaining > 0, timeout=max(remaining, 0) or None)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Not ours to consume mid-batch: hand it back for the
+                # final get() (or a sibling worker) to see.
+                self._queue.put(_SHUTDOWN)
+                break
+            batch.append(item)
+        return batch
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            self._run_batch(self._collect(item))
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        if self.metrics is not None:
+            self.metrics.observe_batch_size(len(batch))
+        live: List[_Pending] = []
+        for pending in batch:
+            try:
+                fault_point("serving:request", key=pending.key, payload=pending.payload)
+            except Exception as error:
+                self._fail(pending, error)
+            else:
+                live.append(pending)
+        if not live:
+            return
+        try:
+            results = self.batch_fn([pending.payload for pending in live])
+            if len(results) != len(live):
+                raise ReproError(
+                    f"batch_fn returned {len(results)} results for {len(live)} requests"
+                )
+        except Exception as error:
+            # Batch-level failure.  With several coalesced requests the
+            # culprit may be a single malformed payload, so isolate: run
+            # each request alone and fail only the ones that fail alone.
+            # (Deterministic batch_fns make the retry bitwise-equal.)
+            if len(live) == 1:
+                self._fail(live[0], error)
+            else:
+                for pending in live:
+                    self._run_isolated(pending)
+            return
+        now = time.monotonic()
+        for pending, result in zip(live, results):
+            if self.metrics is not None:
+                self.metrics.observe_latency(now - pending.submitted)
+            pending.future.set_result(result)
+
+    def _run_isolated(self, pending: _Pending) -> None:
+        """Retry one already-fault-checked request alone (error isolation)."""
+        try:
+            (result,) = self.batch_fn([pending.payload])
+        except Exception as error:
+            self._fail(pending, error)
+            return
+        if self.metrics is not None:
+            self.metrics.observe_latency(time.monotonic() - pending.submitted)
+        pending.future.set_result(result)
+
+    def _fail(self, pending: _Pending, error: Exception) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("errors_total")
+        pending.future.set_exception(error)

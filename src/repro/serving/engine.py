@@ -1,0 +1,303 @@
+"""The prediction engine: one loaded artifact answering node queries.
+
+A :class:`PredictionEngine` is the compute half of the serving stack —
+no sockets, no queues, just "artifact + graph in, logits out":
+
+* **transductive** queries (nodes the training graph contains) are
+  served from a logits *table* — one eval-mode, tape-free forward pass
+  over the whole graph (the full-batch models compute every node's
+  logits in one shot anyway), cached after the first computation.  For
+  RDD ensemble artifacts the table is the α-weighted average of the
+  stored member logits, exactly :meth:`EnsembleModel.embeddings`.
+* **inductive** queries (nodes unseen at training time, given as a
+  feature vector plus edges into the known graph) build a query
+  subgraph around the attachment points — sampled layer-wise
+  neighborhoods in the style of ``minibatch_sage``, carved out with
+  :func:`repro.graph.subgraph.induced_subgraph` — run the model on that
+  small graph, and read off the query node's row.  Results are memoized
+  in a bounded LRU keyed by the query's content, so repeated queries
+  (health probes, hot entities) cost a dict lookup.
+
+Both paths run under ``no_grad`` and are deterministic: the same query
+against the same artifact returns bitwise-identical logits, which is the
+contract the micro-batcher's "batched == unbatched" guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.graph.subgraph import induced_subgraph
+from repro.models.base import softmax_rows
+from repro.serving.artifacts import ModelArtifact, load_artifact
+
+NodeIds = Sequence[int]
+
+
+class ServingError(ReproError):
+    """A serving request is malformed or unanswerable by this engine."""
+
+
+class PredictionEngine:
+    """Load an artifact once; answer node queries forever after.
+
+    Parameters
+    ----------
+    artifact:
+        A :class:`~repro.serving.artifacts.ModelArtifact` or a path to one.
+    graph:
+        The serving graph.  Must structurally match the artifact's
+        training graph (checked via the stored fingerprint unless
+        ``verify_graph=False``); it is cast to the artifact's compute
+        dtype and seeded with the artifact's cached ``Â``.
+    cache_logits:
+        Keep the full logits table after the first forward (the
+        transductive fast path).  Disable for benchmark/stateless modes
+        where every batch should pay its own forward.
+    fanout:
+        Neighbors sampled per hop when building inductive query
+        subgraphs.
+    num_hops:
+        Receptive-field depth of the query subgraph; defaults to the
+        model's layer count (2 when it cannot be inferred).
+    inductive_cache_size:
+        Entries kept in the inductive LRU (0 disables memoization).
+    seed:
+        Base seed for the deterministic per-query neighbor sampling.
+    """
+
+    def __init__(
+        self,
+        artifact: Union[ModelArtifact, str, Path],
+        graph: Graph,
+        *,
+        verify_graph: bool = True,
+        cache_logits: bool = True,
+        fanout: int = 10,
+        num_hops: Optional[int] = None,
+        inductive_cache_size: int = 128,
+        seed: int = 0,
+    ):
+        if not isinstance(artifact, ModelArtifact):
+            artifact = load_artifact(artifact)
+        self.artifact = artifact
+        graph = graph.astype(artifact.dtype)
+        if verify_graph:
+            artifact.check_graph(graph)
+        if graph._normalized is None:
+            # The artifact ships the propagation matrix; installing it
+            # skips the normalization pass in the serving process.
+            graph._normalized = artifact.normalized_adjacency(dtype=artifact.dtype)
+        self.graph = graph
+        self.cache_logits = cache_logits
+        self.fanout = int(fanout)
+        self.seed = int(seed)
+        self._table: Optional[np.ndarray] = None
+        self._inductive_cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._inductive_cache_size = int(inductive_cache_size)
+
+        if artifact.is_ensemble:
+            self._model = None
+            self._ensemble = artifact.ensemble()
+            self._member_models = None  # built lazily on first inductive query
+        else:
+            self._model = artifact.build_model(graph)
+            self._ensemble = None
+            self._member_models = None
+        self._num_hops = int(num_hops) if num_hops is not None else self._infer_hops()
+
+    # ------------------------------------------------------------------
+    # Introspection (for /healthz)
+    # ------------------------------------------------------------------
+    @property
+    def model_kind(self) -> str:
+        return self.artifact.model_kind
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_classes(self) -> int:
+        table = self.logits_table()
+        return int(table.shape[1])
+
+    def _infer_hops(self) -> int:
+        spec = self.artifact.spec
+        if spec is not None:
+            if "num_layers" in spec.options:
+                return int(spec.options["num_layers"])
+            if "k_hops" in spec.options:
+                return int(spec.options["k_hops"])
+        return 2
+
+    # ------------------------------------------------------------------
+    # Transductive path
+    # ------------------------------------------------------------------
+    def logits_table(self) -> np.ndarray:
+        """Per-node logits over the whole serving graph (cached)."""
+        if self._table is not None:
+            return self._table
+        if self._ensemble is not None:
+            table = self._ensemble.embeddings()
+        else:
+            table = self._model.predict_logits(self.graph)
+        if self.cache_logits:
+            self._table = table
+        return table
+
+    def _check_nodes(self, node_ids: NodeIds) -> np.ndarray:
+        nodes = np.asarray(node_ids, dtype=np.int64)
+        if nodes.ndim != 1 or nodes.size == 0:
+            raise ServingError(f"nodes must be a nonempty 1-D id list, got shape {nodes.shape}")
+        if nodes.min() < 0 or nodes.max() >= self.graph.num_nodes:
+            raise ServingError(
+                f"node ids must be in [0, {self.graph.num_nodes}), got "
+                f"[{nodes.min()}, {nodes.max()}]"
+            )
+        return nodes
+
+    def predict_nodes(self, node_ids: NodeIds) -> np.ndarray:
+        """Logits rows for known nodes, shape ``(len(node_ids), k)``."""
+        return self.logits_table()[self._check_nodes(node_ids)]
+
+    def predict_many(self, requests: Sequence[NodeIds]) -> List[np.ndarray]:
+        """Answer several node-id requests off **one** shared table.
+
+        This is the micro-batcher's batch function: the forward pass (or
+        table lookup) is paid once for the whole batch.  Id validation
+        happens up front so one malformed request cannot waste the
+        batch's forward.
+        """
+        checked = [self._check_nodes(request) for request in requests]
+        table = self.logits_table()
+        return [table[nodes] for nodes in checked]
+
+    def predict_proba_nodes(self, node_ids: NodeIds) -> np.ndarray:
+        return softmax_rows(self.predict_nodes(node_ids))
+
+    # ------------------------------------------------------------------
+    # Inductive path
+    # ------------------------------------------------------------------
+    def predict_inductive(self, features, neighbor_ids: NodeIds) -> np.ndarray:
+        """Logits for one unseen node attached to known nodes.
+
+        ``features`` is the query node's feature vector; ``neighbor_ids``
+        are the known nodes it links to.  Deterministic for a given
+        engine seed: the neighbor sampling RNG is derived from the query
+        content, so the same query always sees the same subgraph.
+        """
+        features = np.asarray(features, dtype=self.artifact.dtype)
+        if features.shape != (self.graph.num_features,):
+            raise ServingError(
+                f"features must have shape ({self.graph.num_features},), got {features.shape}"
+            )
+        neighbors = np.unique(self._check_nodes(neighbor_ids))
+
+        key = self._inductive_key(features, neighbors)
+        cached = self._inductive_cache.get(key)
+        if cached is not None:
+            self._inductive_cache.move_to_end(key)
+            return cached
+
+        logits = self._run_inductive(features, neighbors, key)
+        if self._inductive_cache_size > 0:
+            self._inductive_cache[key] = logits
+            while len(self._inductive_cache) > self._inductive_cache_size:
+                self._inductive_cache.popitem(last=False)
+        return logits
+
+    def _inductive_key(self, features: np.ndarray, neighbors: np.ndarray) -> bytes:
+        digest = hashlib.sha256()
+        digest.update(features.tobytes())
+        digest.update(neighbors.tobytes())
+        return digest.digest()
+
+    def _run_inductive(self, features, neighbors, key: bytes) -> np.ndarray:
+        context = self._sample_context(neighbors, key)
+        subgraph, mapping = induced_subgraph(self.graph, context, name="query")
+        query_graph = _attach_query_node(subgraph, mapping, neighbors, features)
+        # Cast so the query forward runs at the artifact's dtype end to end
+        # (the fresh subgraph would otherwise normalize Â at float64).
+        query_graph = query_graph.astype(self.artifact.dtype)
+        if self._ensemble is not None:
+            if self._member_models is None:
+                self._member_models = self.artifact.member_models(self.graph)
+            weights = self._ensemble.weights
+            rows = np.stack(
+                [model.predict_logits(query_graph)[-1] for model in self._member_models]
+            )
+            return np.einsum("t,tk->k", weights.astype(rows.dtype, copy=False), rows)
+        return self._model.predict_logits(query_graph)[-1]
+
+    def _sample_context(self, neighbors: np.ndarray, key: bytes) -> np.ndarray:
+        """Layer-wise sampled neighborhood of the attachment points.
+
+        Seeded from ``(engine seed, query digest)`` so the subgraph — and
+        therefore the prediction — is a pure function of the query.
+        """
+        rng = np.random.default_rng((self.seed, int.from_bytes(key[:8], "big")))
+        adjacency = self.graph.adjacency
+        context = set(int(n) for n in neighbors)
+        frontier = neighbors
+        for _ in range(self._num_hops):
+            nxt = set()
+            for node in frontier:
+                row = adjacency.indices[adjacency.indptr[node] : adjacency.indptr[node + 1]]
+                if len(row) > self.fanout:
+                    row = rng.choice(row, size=self.fanout, replace=False)
+                nxt.update(int(n) for n in row)
+            frontier = np.fromiter(nxt - context, dtype=np.int64, count=len(nxt - context))
+            context.update(nxt)
+            if frontier.size == 0:
+                break
+        if len(context) < 2:
+            # A single isolated attachment point: induced_subgraph needs
+            # two nodes, so pull in a deterministic partner (mirroring
+            # its own isolated-node patch rule).
+            only = next(iter(context))
+            context.add((only + 1) % self.graph.num_nodes)
+        return np.fromiter(context, dtype=np.int64, count=len(context))
+
+
+def _attach_query_node(
+    subgraph: Graph, mapping: np.ndarray, neighbors: np.ndarray, features: np.ndarray
+) -> Graph:
+    """Append the query node (last index) to an induced context subgraph."""
+    local = np.searchsorted(mapping, neighbors)
+    n = subgraph.num_nodes
+    extra_src = np.concatenate([np.full(len(local), n, dtype=np.int64), local])
+    extra_dst = np.concatenate([local, np.full(len(local), n, dtype=np.int64)])
+    base = subgraph.adjacency.tocoo()
+    adjacency = sp.csr_matrix(
+        (
+            np.concatenate([base.data, np.ones(len(extra_src), dtype=base.data.dtype)]),
+            (
+                np.concatenate([base.row, extra_src]),
+                np.concatenate([base.col, extra_dst]),
+            ),
+        ),
+        shape=(n + 1, n + 1),
+    )
+    if sp.issparse(subgraph.features):
+        stacked = sp.vstack([subgraph.features, sp.csr_matrix(features[None, :])]).tocsr()
+    else:
+        stacked = np.vstack([subgraph.features, features[None, :]])
+    empty = np.empty(0, dtype=np.int64)
+    return Graph(
+        adjacency,
+        stacked,
+        np.zeros(n + 1, dtype=np.int64),
+        empty,
+        empty,
+        empty,
+        name=f"{subgraph.name}+query",
+    )

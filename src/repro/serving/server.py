@@ -1,0 +1,243 @@
+"""Stdlib HTTP front end for the prediction engine.
+
+A :class:`PredictionServer` wires the pieces of the serving subsystem
+together: a :class:`~repro.serving.engine.PredictionEngine` for compute,
+a :class:`~repro.serving.batching.MicroBatcher` so concurrent HTTP
+callers share forward passes, and a
+:class:`~repro.serving.metrics.ServingMetrics` sink.  The API is JSON
+over ``http.server.ThreadingHTTPServer`` — one request per handler
+thread, batching happening behind the queue — with three routes:
+
+``POST /predict``
+    ``{"nodes": [0, 5, 9]}`` → transductive logits/labels for known
+    nodes, or ``{"features": [...], "neighbors": [3, 4]}`` → an
+    inductive prediction for one unseen node.  ``"return_probs": true``
+    adds softmax probabilities.
+``GET /healthz``
+    Liveness + model identity (used by load balancers and CI smoke).
+``GET /metrics``
+    The metrics snapshot: request/error/batch counters plus latency and
+    batch-size percentile summaries.
+
+Client errors (bad JSON, unknown ids, wrong shapes) return 400 with
+``{"error": ...}``; server-side failures — including injected
+``serving:request`` faults — return 500 the same way, and never take the
+batching loop down with them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.models.base import softmax_rows
+from repro.serving.batching import MicroBatcher
+from repro.serving.engine import PredictionEngine, ServingError
+from repro.serving.metrics import ServingMetrics
+
+
+class PredictionServer:
+    """An HTTP prediction service around one engine.
+
+    Parameters
+    ----------
+    engine:
+        The loaded :class:`PredictionEngine`.
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    batching:
+        Route transductive requests through a :class:`MicroBatcher`
+        (recommended); when off, every handler thread calls the engine
+        directly.
+    max_batch_size / max_wait_s:
+        Micro-batching knobs, forwarded to the batcher.
+    metrics:
+        Metrics sink; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        engine: PredictionEngine,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        batching: bool = True,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        metrics: Optional[ServingMetrics] = None,
+    ):
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.batcher: Optional[MicroBatcher] = None
+        if batching:
+            self.batcher = MicroBatcher(
+                engine.predict_many,
+                max_batch_size=max_batch_size,
+                max_wait_s=max_wait_s,
+                metrics=self.metrics,
+            )
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="prediction-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self.batcher is not None:
+            self.batcher.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "PredictionServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------
+    def handle_predict(self, body: dict) -> dict:
+        if not isinstance(body, dict):
+            raise ServingError("request body must be a JSON object")
+        if "nodes" in body:
+            return self._predict_nodes(body)
+        if "features" in body:
+            return self._predict_inductive(body)
+        raise ServingError('request must contain "nodes" or "features"')
+
+    def _predict_nodes(self, body: dict) -> dict:
+        nodes = body["nodes"]
+        if isinstance(nodes, int):
+            nodes = [nodes]
+        if self.batcher is not None:
+            logits = self.batcher.predict(nodes)
+        else:
+            self.metrics.inc("requests_total")
+            logits = self.engine.predict_nodes(nodes)
+        response = {
+            "nodes": [int(n) for n in nodes],
+            "labels": logits.argmax(axis=1).tolist(),
+        }
+        if body.get("return_probs"):
+            response["probs"] = softmax_rows(logits).tolist()
+        if body.get("return_logits"):
+            response["logits"] = logits.tolist()
+        return response
+
+    def _predict_inductive(self, body: dict) -> dict:
+        self.metrics.inc("requests_total")
+        self.metrics.inc("inductive_requests_total")
+        neighbors = body.get("neighbors")
+        if neighbors is None:
+            raise ServingError('inductive requests need "neighbors" (known node ids)')
+        logits = self.engine.predict_inductive(body["features"], neighbors)
+        response = {"label": int(np.argmax(logits))}
+        if body.get("return_probs"):
+            response["probs"] = softmax_rows(logits[None, :])[0].tolist()
+        if body.get("return_logits"):
+            response["logits"] = logits.tolist()
+        return response
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "model": self.engine.model_kind,
+            "nodes": self.engine.num_nodes,
+            "batching": self.batcher is not None,
+        }
+
+
+def _make_handler(server: PredictionServer):
+    """A handler class bound to one :class:`PredictionServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Keep connections simple: one request per connection.
+        protocol_version = "HTTP/1.0"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # request logging would swamp test output; metrics cover it
+
+        # -- helpers ---------------------------------------------------
+        def _send_json(self, status: int, payload: dict) -> None:
+            blob = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+            server.metrics.inc(f"http_{status}")
+
+        # -- routes ----------------------------------------------------
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._send_json(200, server.health())
+            elif self.path == "/metrics":
+                self._send_json(200, server.metrics.snapshot())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:
+            if self.path != "/predict":
+                self._send_json(404, {"error": f"unknown path {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                body = json.loads(self.rfile.read(length) or b"")
+            except (ValueError, json.JSONDecodeError) as error:
+                self._send_json(400, {"error": f"invalid JSON body: {error}"})
+                return
+            try:
+                response = server.handle_predict(body)
+            except (ServingError, KeyError, TypeError) as error:
+                server.metrics.inc("http_client_errors_total")
+                self._send_json(400, {"error": str(error)})
+            except ReproError as error:
+                # Includes injected faults surfacing through a request's
+                # future: the request fails cleanly, the server lives on.
+                self._send_json(500, {"error": str(error)})
+            except Exception as error:  # pragma: no cover - defensive
+                self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            else:
+                self._send_json(200, response)
+
+    return Handler

@@ -26,6 +26,10 @@ Registered sites (``site`` → where it fires):
 ``trainer:epoch``     top of each training epoch (``key`` = epoch)
 ``checkpoint:save``   before a checkpoint generation is written
                       (``key`` = checkpoint name)
+``serving:request``   before a micro-batched serving request executes
+                      (``key`` = request arrival sequence number); the
+                      batching loop survives the failure, only that
+                      request's future errors
 ====================  ====================================================
 
 Plans are plain Python state in the parent process.  Fork-spawned

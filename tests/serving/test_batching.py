@@ -1,0 +1,183 @@
+"""Micro-batcher: ordering, bitwise parity, fault isolation, lifecycle.
+
+Satellite contract: hypothesis property tests that batching preserves
+per-request ordering and returns results bitwise-equal to unbatched
+single-request inference; a multi-threaded smoke test with concurrent
+clients; and proof that an injected ``serving:request`` fault errors only
+its own future while the batching loop survives.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.serving.batching import BatcherClosed, MicroBatcher
+from repro.serving.engine import ServingError
+from repro.serving.metrics import ServingMetrics
+from repro.testing.faults import FaultPlan, WorkerCrash, inject
+
+NUM_NODES = 60  # tiny_graph size; strategies must stay in range
+
+node_request = st.lists(st.integers(min_value=0, max_value=NUM_NODES - 1), min_size=1, max_size=6)
+request_stream = st.lists(node_request, min_size=1, max_size=24)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+class TestProperties:
+    @relaxed
+    @given(stream=request_stream)
+    def test_results_are_bitwise_equal_to_unbatched(self, engine, stream):
+        expected = [engine.predict_nodes(nodes) for nodes in stream]
+        with MicroBatcher(engine.predict_many, max_batch_size=8, max_wait_s=0.001) as batcher:
+            futures = [batcher.submit(nodes) for nodes in stream]
+            for future, reference in zip(futures, expected):
+                assert np.array_equal(future.result(timeout=10), reference)
+
+    @relaxed
+    @given(stream=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=32))
+    def test_ordering_is_preserved_under_coalescing(self, stream):
+        # A payload-tagging batch_fn makes routing mistakes visible: each
+        # future must resolve to a pure function of its own payload.
+        def batch_fn(payloads):
+            return [(value, value * 2 + 1) for value in payloads]
+
+        with MicroBatcher(batch_fn, max_batch_size=4, max_wait_s=0.001) as batcher:
+            futures = [batcher.submit(value) for value in stream]
+            for value, future in zip(stream, futures):
+                assert future.result(timeout=10) == (value, value * 2 + 1)
+
+    @relaxed
+    @given(stream=request_stream)
+    def test_parity_holds_with_multiple_workers(self, engine, stream):
+        with MicroBatcher(
+            engine.predict_many, max_batch_size=4, max_wait_s=0.0, workers=2
+        ) as batcher:
+            futures = [batcher.submit(nodes) for nodes in stream]
+            for nodes, future in zip(stream, futures):
+                assert np.array_equal(future.result(timeout=10), engine.predict_nodes(nodes))
+
+
+# ----------------------------------------------------------------------
+# Concurrency smoke
+# ----------------------------------------------------------------------
+class TestConcurrentClients:
+    def test_concurrent_clients_get_their_own_bitwise_results(self, engine):
+        clients, per_client = 8, 20
+        rng = np.random.default_rng(5)
+        streams = [
+            [rng.integers(0, engine.num_nodes, size=4) for _ in range(per_client)]
+            for _ in range(clients)
+        ]
+        expected = [[engine.predict_nodes(nodes) for nodes in stream] for stream in streams]
+        metrics = ServingMetrics()
+        mismatches = []
+
+        with MicroBatcher(
+            engine.predict_many, max_batch_size=16, max_wait_s=0.002, metrics=metrics
+        ) as batcher:
+
+            def client(index):
+                for nodes, reference in zip(streams[index], expected[index]):
+                    if not np.array_equal(batcher.predict(nodes, timeout=30), reference):
+                        mismatches.append(index)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not mismatches
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["requests_total"] == clients * per_client
+        assert snapshot["counters"].get("errors_total", 0) == 0
+        assert snapshot["histograms"]["batch_size"]["count"] == snapshot["counters"]["batches_total"]
+        assert snapshot["histograms"]["latency_ms"]["count"] == clients * per_client
+
+
+# ----------------------------------------------------------------------
+# Fault isolation
+# ----------------------------------------------------------------------
+class TestFaultIsolation:
+    def test_injected_fault_fails_only_its_own_future(self, engine):
+        metrics = ServingMetrics()
+        with inject(FaultPlan().fail("serving:request", key=1)) as plan:
+            with MicroBatcher(
+                engine.predict_many, max_batch_size=8, max_wait_s=0.02, metrics=metrics
+            ) as batcher:
+                futures = [batcher.submit([node]) for node in (0, 1, 2, 3)]
+                with pytest.raises(WorkerCrash):
+                    futures[1].result(timeout=10)
+                for node in (0, 2, 3):
+                    assert np.array_equal(
+                        futures[node].result(timeout=10), engine.predict_nodes([node])
+                    )
+                # The loop survived: later requests still get answers.
+                assert np.array_equal(
+                    batcher.predict([5], timeout=10), engine.predict_nodes([5])
+                )
+        assert plan.fired("serving:request") == 1
+        assert metrics.counter("errors_total") == 1
+        assert metrics.counter("requests_total") == 5
+
+    def test_malformed_payload_fails_alone_in_a_coalesced_batch(self, engine):
+        # predict_many validates up front and raises for the whole batch;
+        # the batcher isolates by re-running each request alone, so only
+        # the bad payload's future errors.
+        with MicroBatcher(engine.predict_many, max_batch_size=8, max_wait_s=0.05) as batcher:
+            futures = [batcher.submit(payload) for payload in ([0, 1], [10**6], [2])]
+            with pytest.raises(ServingError):
+                futures[1].result(timeout=10)
+            assert np.array_equal(futures[0].result(timeout=10), engine.predict_nodes([0, 1]))
+            assert np.array_equal(futures[2].result(timeout=10), engine.predict_nodes([2]))
+
+    def test_single_request_batch_failure_surfaces_directly(self, engine):
+        with MicroBatcher(engine.predict_many, max_batch_size=1, max_wait_s=0.0) as batcher:
+            with pytest.raises(ServingError):
+                batcher.predict([10**6], timeout=10)
+            assert np.array_equal(batcher.predict([0], timeout=10), engine.predict_nodes([0]))
+
+    def test_miscounting_batch_fn_fails_the_request(self):
+        with MicroBatcher(lambda payloads: [], max_batch_size=1, max_wait_s=0.0) as batcher:
+            with pytest.raises(ReproError, match="results"):
+                batcher.predict("x", timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_closed_batcher_refuses_submissions(self, engine):
+        batcher = MicroBatcher(engine.predict_many)
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit([0])
+        batcher.close()  # idempotent
+
+    def test_close_drains_inflight_requests(self, engine):
+        batcher = MicroBatcher(engine.predict_many, max_batch_size=4, max_wait_s=0.01)
+        futures = [batcher.submit([node]) for node in range(6)]
+        batcher.close()
+        for node, future in enumerate(futures):
+            assert np.array_equal(future.result(timeout=10), engine.predict_nodes([node]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_batch_size": 0}, {"max_wait_s": -1.0}, {"workers": 0}],
+        ids=["batch-size", "wait", "workers"],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            MicroBatcher(lambda payloads: payloads, **kwargs)

@@ -1,0 +1,88 @@
+"""Serving metrics: counters, windowed histograms, snapshots."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import ServingMetrics, WindowHistogram
+
+
+class TestWindowHistogram:
+    def test_empty_summary(self):
+        assert WindowHistogram().summary() == {"count": 0}
+
+    def test_summary_statistics(self):
+        histogram = WindowHistogram()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.add(value)
+        summary = histogram.summary()
+        assert summary["count"] == summary["window"] == 4
+        assert summary["mean"] == 2.5
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+        assert summary["p50"] == np.percentile([1.0, 2.0, 3.0, 4.0], 50)
+
+    def test_window_evicts_oldest_but_count_is_total(self):
+        histogram = WindowHistogram(window=3)
+        for value in range(10):
+            histogram.add(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 10
+        assert summary["window"] == 3
+        assert summary["min"] == 7.0 and summary["max"] == 9.0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            WindowHistogram(window=0)
+
+
+class TestServingMetrics:
+    def test_counters_accumulate(self):
+        metrics = ServingMetrics()
+        assert metrics.counter("requests_total") == 0
+        metrics.inc("requests_total")
+        metrics.inc("requests_total", 4)
+        assert metrics.counter("requests_total") == 5
+
+    def test_latency_stored_in_milliseconds(self):
+        metrics = ServingMetrics()
+        metrics.observe_latency(0.25)
+        assert metrics.percentile("latency_ms", "p50") == 250.0
+
+    def test_batch_size_observation_counts_batches(self):
+        metrics = ServingMetrics()
+        metrics.observe_batch_size(4)
+        metrics.observe_batch_size(8)
+        assert metrics.counter("batches_total") == 2
+        assert metrics.percentile("batch_size", "max") == 8.0
+
+    def test_percentile_of_unknown_histogram_is_none(self):
+        assert ServingMetrics().percentile("nope") is None
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        import json
+
+        metrics = ServingMetrics()
+        metrics.inc("b")
+        metrics.inc("a")
+        metrics.observe("latency_ms", 1.0)
+        snapshot = metrics.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["histograms"]["latency_ms"]["count"] == 1
+        json.dumps(snapshot)  # must not raise
+
+    def test_thread_safety_under_contention(self):
+        metrics = ServingMetrics()
+
+        def hammer():
+            for _ in range(500):
+                metrics.inc("hits")
+                metrics.observe("value", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("hits") == 4000
+        assert metrics.snapshot()["histograms"]["value"]["count"] == 4000

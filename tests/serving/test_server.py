@@ -1,0 +1,183 @@
+"""HTTP front end: routes, status codes, metrics, fault survival.
+
+Each test boots a real :class:`PredictionServer` on an ephemeral port and
+talks to it over stdlib ``urllib`` — the same path ``scripts/loadgen.py``
+and the CI smoke use.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving.engine import PredictionEngine
+from repro.serving.server import PredictionServer
+from repro.testing.faults import FaultPlan, inject
+
+
+def _call(url: str, body=None, timeout: float = 10.0):
+    """(status, payload) for a GET (body=None) or JSON POST; 4xx/5xx included."""
+    if body is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def server(engine):
+    with PredictionServer(engine, port=0, max_wait_s=0.001).start() as running:
+        yield running
+
+
+class TestRoutes:
+    def test_healthz_reports_identity(self, server, engine):
+        status, payload = _call(f"{server.url}/healthz")
+        assert status == 200
+        assert payload == {
+            "status": "ok",
+            "model": "gcn",
+            "nodes": engine.num_nodes,
+            "batching": True,
+        }
+
+    def test_predict_nodes_matches_engine(self, server, engine):
+        nodes = [0, 17, 59]
+        status, payload = _call(f"{server.url}/predict", {"nodes": nodes})
+        assert status == 200
+        assert payload["nodes"] == nodes
+        assert payload["labels"] == engine.predict_nodes(nodes).argmax(axis=1).tolist()
+
+    def test_predict_scalar_node_and_logits(self, server, engine):
+        status, payload = _call(
+            f"{server.url}/predict", {"nodes": 5, "return_probs": True, "return_logits": True}
+        )
+        assert status == 200
+        assert payload["nodes"] == [5]
+        assert np.array_equal(np.asarray(payload["logits"]), engine.predict_nodes([5]))
+        assert np.isclose(sum(payload["probs"][0]), 1.0)
+
+    def test_predict_inductive(self, server, engine, tiny_graph):
+        features = np.asarray(tiny_graph.features[4]).ravel()
+        body = {"features": features.tolist(), "neighbors": [4, 9], "return_probs": True}
+        status, payload = _call(f"{server.url}/predict", body)
+        assert status == 200
+        expected = engine.predict_inductive(features, [4, 9])
+        assert payload["label"] == int(np.argmax(expected))
+        assert np.isclose(sum(payload["probs"]), 1.0)
+
+    def test_metrics_populate_after_traffic(self, server):
+        for _ in range(3):
+            assert _call(f"{server.url}/predict", {"nodes": [1, 2]})[0] == 200
+        status, snapshot = _call(f"{server.url}/metrics")
+        assert status == 200
+        assert snapshot["counters"]["requests_total"] >= 3
+        assert snapshot["counters"]["http_200"] >= 3
+        latency = snapshot["histograms"]["latency_ms"]
+        assert latency["count"] >= 3
+        assert latency["p50"] > 0.0 and latency["p99"] >= latency["p50"]
+        assert snapshot["histograms"]["batch_size"]["count"] >= 1
+
+
+class TestErrors:
+    def test_unknown_paths_404(self, server):
+        assert _call(f"{server.url}/nope")[0] == 404
+        assert _call(f"{server.url}/nope", {"x": 1})[0] == 404
+
+    def test_invalid_json_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/predict",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "invalid JSON" in json.loads(excinfo.value.read())["error"]
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"wrong": "keys"},
+            {"nodes": [10**6]},
+            {"nodes": []},
+            {"features": [1.0, 2.0]},
+            {"features": [1.0, 2.0], "neighbors": [0]},
+        ],
+        ids=["no-route", "unknown-id", "empty", "no-neighbors", "bad-features"],
+    )
+    def test_client_errors_400_with_json_error(self, server, body):
+        status, payload = _call(f"{server.url}/predict", body)
+        assert status == 400
+        assert isinstance(payload["error"], str) and payload["error"]
+
+    def test_client_errors_counted(self, server):
+        before = _call(f"{server.url}/metrics")[1]["counters"].get("http_client_errors_total", 0)
+        _call(f"{server.url}/predict", {"nodes": [10**6]})
+        after = _call(f"{server.url}/metrics")[1]["counters"]["http_client_errors_total"]
+        assert after == before + 1
+
+
+class TestFaultSurvival:
+    def test_injected_fault_returns_clean_json_and_server_lives(self, engine):
+        # A worker-side fault on one request must surface as a clean 500
+        # {"error": ...} for that caller only — the batching loop and the
+        # server keep answering.
+        with PredictionServer(engine, port=0, max_wait_s=0.0).start() as server:
+            with inject(FaultPlan().fail("serving:request", key=0)) as plan:
+                status, payload = _call(f"{server.url}/predict", {"nodes": [0]})
+                assert status == 500
+                assert "injected fault" in payload["error"]
+                status, payload = _call(f"{server.url}/predict", {"nodes": [0]})
+                assert status == 200
+                assert payload["labels"] == engine.predict_nodes([0]).argmax(axis=1).tolist()
+            assert plan.fired("serving:request") == 1
+            snapshot = _call(f"{server.url}/metrics")[1]
+            assert snapshot["counters"]["errors_total"] == 1
+            assert snapshot["counters"]["http_500"] == 1
+            assert snapshot["counters"]["http_200"] >= 1
+
+
+class TestEnsembleServer:
+    def test_ensemble_artifact_serves_end_to_end(
+        self, ensemble_artifact_path, ensemble, tiny_graph
+    ):
+        engine = PredictionEngine(ensemble_artifact_path, tiny_graph)
+        with PredictionServer(engine, port=0, max_wait_s=0.001).start() as server:
+            status, health = _call(f"{server.url}/healthz")
+            assert status == 200 and health["model"] == "ensemble[3]"
+
+            nodes = [0, 21, 42]
+            status, payload = _call(f"{server.url}/predict", {"nodes": nodes})
+            assert status == 200
+            assert payload["labels"] == ensemble.embeddings()[nodes].argmax(axis=1).tolist()
+
+            features = np.asarray(tiny_graph.features[2]).ravel()
+            status, payload = _call(
+                f"{server.url}/predict", {"features": features.tolist(), "neighbors": [2, 3]}
+            )
+            assert status == 200
+            expected = engine.predict_inductive(features, [2, 3])
+            assert payload["label"] == int(np.argmax(expected))
+
+
+class TestUnbatchedMode:
+    def test_batching_off_still_serves_and_counts(self, engine):
+        with PredictionServer(engine, port=0, batching=False).start() as server:
+            assert server.batcher is None
+            status, health = _call(f"{server.url}/healthz")
+            assert status == 200 and health["batching"] is False
+            status, payload = _call(f"{server.url}/predict", {"nodes": [3]})
+            assert status == 200
+            assert payload["labels"] == engine.predict_nodes([3]).argmax(axis=1).tolist()
+            assert _call(f"{server.url}/metrics")[1]["counters"]["requests_total"] >= 1
