@@ -1,31 +1,34 @@
 #!/usr/bin/env python
 """Guard against performance regressions in the committed benchmarks.
 
-Two benches are guarded, each against its committed baseline JSON:
+Three benches are guarded, each against its committed baseline JSON:
 
 * **trainstep** (``BENCH_trainstep.json``) — fused-kernel vs legacy-tape
   train-step speedups;
 * **serving** (``BENCH_serving.json``) — micro-batched vs unbatched
-  prediction throughput at concurrency 8.
+  prediction throughput at concurrency 8;
+* **obs** (``BENCH_obs.json``) — training-time overhead of the enabled
+  observability layer (event log + per-epoch RDD diagnostics).
 
-Absolute times are machine-dependent, so only the *speedup ratios* are
-compared: a fresh speedup may drift down to ``TOLERANCE`` (default 0.75)
-times the committed value before the check fails.  Each bench also keeps
-an absolute acceptance floor regardless of the baseline: 1.5x for the
+Absolute times are machine-dependent, so only the *ratios* are compared:
+a fresh speedup may drift down to ``TOLERANCE`` (default 0.75) times the
+committed value before the check fails.  Each bench also keeps an
+absolute acceptance bound regardless of the baseline: 1.5x for the
 trainstep headline (deep taped regime), 2.0x for the serving
-batched/unbatched ratio.
+batched/unbatched ratio, and at most 1.05x enabled-vs-disabled wall time
+for obs.
 
 Usage::
 
-    python scripts/check_bench.py                    # both benches
+    python scripts/check_bench.py                    # all benches
     python scripts/check_bench.py --bench serving    # one bench
-    python scripts/check_bench.py --quick            # fewer repeats
+    python scripts/check_bench.py --quick            # fewer timing repeats
     pytest scripts/check_bench.py -m perf            # same checks under pytest
 
 Exit status is non-zero when any workload regresses.  After an
 intentional performance change, refresh the baseline with
 ``python scripts/bench_trainstep.py`` / ``python scripts/bench_serving.py``
-and commit the new JSON.
+/ ``python scripts/bench_obs.py`` and commit the new JSON.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ import pytest  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_trainstep.json"
 SERVING_BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
+OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
 
 # A fresh speedup may drop to this fraction of the committed one before
 # the check fails — wide enough for cross-machine and scheduler noise,
@@ -150,12 +154,56 @@ def run_check_serving(quick: bool = False, tolerance: float = TOLERANCE) -> List
     return compare_serving(fresh, baseline, tolerance=tolerance)
 
 
+# ----------------------------------------------------------------------
+# Observability overhead (BENCH_obs.json)
+# ----------------------------------------------------------------------
+def load_obs_baseline(path: Path = OBS_BASELINE_PATH) -> Dict[str, object]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed baseline at {path}; run scripts/bench_obs.py first"
+        )
+    return json.loads(path.read_text())
+
+
+def compare_obs(fresh: Dict[str, object], limit: float | None = None) -> List[str]:
+    """Regression messages for the obs bench (empty when it holds).
+
+    Unlike the speedup benches, the obs metric is an overhead *ratio
+    near 1.0*, so a relative band against the committed value would be
+    all noise; only the absolute budget is enforced.
+    """
+    from benchmarks.bench_obs import OVERHEAD_LIMIT
+
+    limit = OVERHEAD_LIMIT if limit is None else limit
+    overhead = fresh["overhead"]
+    if overhead > limit:
+        return [
+            f"obs: enabled-mode overhead {overhead:.3f}x exceeds the "
+            f"{limit:.2f}x budget (enabled {fresh['enabled_s']:.2f}s vs "
+            f"disabled {fresh['disabled_s']:.2f}s)"
+        ]
+    return []
+
+
+def run_check_obs(quick: bool = False) -> List[str]:
+    from benchmarks.bench_obs import run_benchmark as run_obs_benchmark
+
+    baseline = load_obs_baseline()
+    fresh = run_obs_benchmark(quick=quick)
+    print(
+        f"{'obs':11s} fresh {fresh['overhead']:5.3f}x  "
+        f"committed {baseline['overhead']:5.3f}x  "
+        f"(enabled {fresh['enabled_s']:.2f}s, disabled {fresh['disabled_s']:.2f}s)"
+    )
+    return compare_obs(fresh)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="fewer timing repeats")
     parser.add_argument(
         "--bench",
-        choices=["trainstep", "serving", "all"],
+        choices=["trainstep", "serving", "obs", "all"],
         default="all",
         help="which committed baseline(s) to check (default: all)",
     )
@@ -171,6 +219,8 @@ def main(argv=None) -> int:
         failures += run_check(quick=args.quick, tolerance=args.tolerance)
     if args.bench in ("serving", "all"):
         failures += run_check_serving(quick=args.quick, tolerance=args.tolerance)
+    if args.bench in ("obs", "all"):
+        failures += run_check_obs(quick=args.quick)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -192,6 +242,20 @@ def test_bench_holds_committed_baseline():
 def test_serving_holds_committed_baseline():
     failures = run_check_serving(quick=True)
     assert not failures, failures
+
+
+@pytest.mark.perf
+def test_obs_overhead_holds_committed_budget():
+    failures = run_check_obs(quick=True)
+    assert not failures, failures
+
+
+def test_compare_obs_flags_overrun():
+    within = {"overhead": 1.02, "enabled_s": 1.02, "disabled_s": 1.0}
+    assert compare_obs(within) == []
+    over = {"overhead": 1.2, "enabled_s": 1.2, "disabled_s": 1.0}
+    messages = compare_obs(over)
+    assert len(messages) == 1 and "budget" in messages[0]
 
 
 def test_compare_serving_flags_regressions():

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""CI smoke test: record an observed RDD run, then report on it.
+
+Covers the observability path end to end in under a minute:
+
+1. run a tiny ``table6`` harness (Bagging / BANs / RDD) with
+   ``--obs-dir`` so the event log is written by the real CLI path,
+2. assert the log holds per-epoch spans and every RDD reliability
+   diagnostic the report depends on,
+3. render ``repro report`` in both text and Prometheus formats and
+   assert the headline sections are present.
+
+Exit status 0 on success; any assertion failure is fatal.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.obs.report import (  # noqa: E402
+    RDD_EPOCH_EVENT,
+    read_events,
+    registry_from_events,
+    render_report,
+)
+
+DIAGNOSTIC_KEYS = {
+    "num_reliable",
+    "num_distill",
+    "num_reliable_edges",
+    "agreement",
+    "gamma",
+    "L1",
+    "L2",
+    "Lreg",
+}
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp) / "obs"
+        code = cli_main(
+            [
+                "run", "table6",
+                "--scale", "0.1",
+                "--seeds", "0",
+                "--base-models", "2",
+                "--max-epochs", "6",
+                "--obs-dir", str(run_dir),
+            ]
+        )
+        assert code == 0, f"harness run exited {code}"
+
+        events = read_events(run_dir)
+        spans = {e["name"] for e in events if e.get("kind") == "span"}
+        assert "epoch" in spans and "trainer:fit" in spans, f"missing spans: {spans}"
+        assert "harness:seed" in spans, f"missing harness span: {spans}"
+
+        epochs = [e for e in events if e.get("name") == RDD_EPOCH_EVENT]
+        assert epochs, "no rdd_epoch diagnostics in the event log"
+        missing = DIAGNOSTIC_KEYS - set(epochs[-1])
+        assert not missing, f"rdd_epoch record lacks {missing}"
+
+        text = render_report(run_dir)
+        assert "RDD reliability diagnostics" in text, text[:400]
+        prometheus = registry_from_events(events).prometheus()
+        assert "repro_spans_epoch_total" in prometheus, prometheus[:400]
+
+        # The CLI front door must agree with the library path.
+        assert cli_main(["report", str(run_dir)]) == 0
+        assert cli_main(["report", str(run_dir), "--format", "prometheus"]) == 0
+
+    print(
+        f"report smoke OK: {len(events)} events, "
+        f"{len(epochs)} rdd_epoch records, report rendered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ Usage::
     python -m repro datasets
     python -m repro export --dataset cora --scale 0.2 --out model.rddart
     python -m repro serve --artifact model.rddart --port 8080
+    python -m repro run table6 --obs-dir runs/t6 && python -m repro report runs/t6
 
 ``run`` prints the report table to stdout and optionally writes JSON.
 ``export`` trains a model and writes a serving artifact; ``serve``
@@ -105,7 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--task-timeout", type=float, default=None,
         help="seconds a pooled seed cell may run before it is presumed lost and retried",
     )
+    run.add_argument(
+        "--obs-dir", type=str, default=None,
+        help="record observability events (spans + per-epoch RDD reliability "
+             "diagnostics) to <dir>/events.jsonl; summarize with 'repro report <dir>'",
+    )
     run.add_argument("--out", type=str, default=None, help="write the report as JSON here")
+
+    report = sub.add_parser(
+        "report",
+        help="summarize an observability run directory (written with --obs-dir)",
+    )
+    report.add_argument("run_dir", help="directory holding events.jsonl")
+    report.add_argument(
+        "--format", choices=["text", "prometheus"], default="text",
+        help="'text' renders span/reliability tables plus Prometheus metrics; "
+             "'prometheus' emits only the text exposition format",
+    )
 
     export = sub.add_parser(
         "export",
@@ -250,6 +267,22 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs.metrics import prometheus_text
+    from repro.obs.report import ReportError, read_events, registry_from_events, render_report
+
+    try:
+        if args.format == "prometheus":
+            events = read_events(args.run_dir)
+            print(prometheus_text(registry_from_events(events).snapshot()), end="")
+            return 0
+        print(render_report(args.run_dir))
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -271,6 +304,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         return _cmd_serve(args)
 
+    if args.command == "report":
+        return _cmd_report(args)
+
+    if args.obs_dir:
+        # Enable before the harness runs so graph building, training, and
+        # forked workers are all covered by one event log.
+        import repro.obs as obs
+
+        obs.enable(args.obs_dir)
     module, _ = EXPERIMENTS[args.experiment]
     config = HarnessConfig(
         scale=args.scale,
@@ -287,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         resume=args.resume,
         task_retries=args.task_retries,
         task_timeout=args.task_timeout,
+        obs_dir=args.obs_dir,
     )
     report = module.run(config)
     print(report.format())

@@ -59,6 +59,11 @@ class RDDLossState:
     gamma: float = 0.0
     beta: float = 0.0
     distill_mode: str = "prob_mse"
+    # Observability: when True, each rdd_student_loss call stores the raw
+    # (unscaled) term values in ``components`` — pure reads off the tape,
+    # so the recorded training trajectory is bitwise unchanged.
+    record_components: bool = False
+    components: "dict | None" = None
 
 
 def rdd_student_loss(graph: Graph, logits: Tensor, state: RDDLossState) -> Tensor:
@@ -74,13 +79,22 @@ def rdd_student_loss(graph: Graph, logits: Tensor, state: RDDLossState) -> Tenso
         Current reliability sets, teacher targets, and loss coefficients.
     """
     k = logits.shape[1]
-    loss = masked_cross_entropy_logits(logits, graph.labels, graph.train_index)
+    l1 = masked_cross_entropy_logits(logits, graph.labels, graph.train_index)
+    loss = l1
+    l2 = lreg = None
     if state.gamma > 0.0 and len(state.distill_index):
         l2 = _distill_term(logits, state, k)
         loss = ops.add(loss, ops.mul(l2, state.gamma))
     if state.beta > 0.0 and len(state.edge_src):
         lreg = edge_regularization(logits, state.edge_src, state.edge_dst)
         loss = ops.add(loss, ops.mul(lreg, state.beta / k))
+    if state.record_components:
+        state.components = {
+            "L1": l1.item(),
+            "L2": 0.0 if l2 is None else l2.item(),
+            "Lreg": 0.0 if lreg is None else lreg.item(),
+            "total": loss.item(),
+        }
     return loss
 
 

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.config import RDDConfig
 from repro.core.ensemble import EnsembleModel, ensemble_weight, uniform_softmax_ensemble
 from repro.core.losses import RDDLossState, rdd_student_loss
@@ -168,12 +169,17 @@ class RDDTrainer:
         for t in range(first_student, config.num_base_models):
             fault_point("rdd:student", key=t)
             model = self._model_factory(graph, rngs[t])
-            if t == 0:
-                # First student: plain supervised GCN (Alg. 3 line 2).
-                result = trainer.fit(model, graph)
-            else:
-                result = self._fit_student(trainer, model, graph, teacher,
-                                           edge_src, edge_dst, reliability_history)
+            with obs.span("rdd:student", student=t + 1, seed=seed) as student_span:
+                if t == 0:
+                    # First student: plain supervised GCN (Alg. 3 line 2).
+                    result = trainer.fit(model, graph)
+                else:
+                    result = self._fit_student(trainer, model, graph, teacher,
+                                               edge_src, edge_dst, reliability_history)
+                if student_span:
+                    student_span.set(
+                        test_accuracy=result.test_accuracy, epochs_run=result.epochs_run
+                    )
             base_results.append(result)
 
             # Trainer.fit already computed the best-checkpoint logits.
@@ -189,6 +195,15 @@ class RDDTrainer:
             )
             teacher.add(probs, logits, weight)
             ensemble_curve.append(accuracy(teacher.probs(), graph.labels, graph.test_index))
+            if obs.enabled():
+                obs.event(
+                    "rdd_student_result",
+                    student=t + 1,
+                    seed=seed,
+                    test_accuracy=base_test[-1],
+                    ensemble_test_accuracy=ensemble_curve[-1],
+                    ensemble_weight=float(weight),
+                )
 
             if checkpoint is not None:
                 checkpoint.save(
@@ -252,6 +267,15 @@ class RDDTrainer:
             labeled_check=config.labeled_check,
         )
 
+        # Observability captured once per student: the per-epoch refresh
+        # stashes reliability diagnostics here and loss_fn emits them as
+        # one ``rdd_epoch`` event, alongside the L1/L2/Lreg components
+        # recorded by rdd_student_loss.  Zero work when obs is disabled.
+        obs_on = obs.enabled()
+        state.record_components = obs_on
+        student_number = len(teacher) + 1
+        diagnostics: dict = {}
+
         def refresh(epoch: int, student: GraphModel, eval_logits=None) -> None:
             """Per-epoch reliability update (Alg. 3 line 7).
 
@@ -270,17 +294,28 @@ class RDDTrainer:
                 context=teacher_ctx,
             )
             state.distill_index = sets.distill_index
+            student_pred = None
+            if beta > 0.0 or obs_on:
+                student_pred = student_probs.argmax(axis=1)
             if beta > 0.0:
                 state.edge_src, state.edge_dst = edge_reliability(
                     edge_src,
                     edge_dst,
                     sets.reliable_mask,
-                    student_probs.argmax(axis=1),
+                    student_pred,
                     use_reliability=config.use_edge_reliability,
                 )
             state.gamma = cosine_annealing_gamma(gamma_initial, epoch, config.max_epochs)
             state.beta = beta
             self._reliability_time += time.perf_counter() - refresh_start
+            if obs_on:
+                diagnostics.update(
+                    num_reliable=sets.num_reliable,
+                    num_distill=sets.num_distill,
+                    num_reliable_edges=int(len(state.edge_src)),
+                    agreement=float(np.mean(teacher_ctx.teacher_pred == student_pred)),
+                    gamma=state.gamma,
+                )
             if epoch == 0:
                 reliability_history.append(
                     {
@@ -292,7 +327,19 @@ class RDDTrainer:
                 )
 
         def loss_fn(student: GraphModel, logits, epoch: int):
-            return rdd_student_loss(graph, logits, state)
+            loss = rdd_student_loss(graph, logits, state)
+            if obs_on and state.components is not None:
+                obs.event(
+                    "rdd_epoch",
+                    student=student_number,
+                    epoch=epoch,
+                    L1=state.components["L1"],
+                    L2=state.components["L2"],
+                    Lreg=state.components["Lreg"],
+                    loss=state.components["total"],
+                    **diagnostics,
+                )
+            return loss
 
         return trainer.fit(model, graph, loss_fn=loss_fn, epoch_callback=refresh)
 

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.baselines.bagging import BaggingEnsemble
 from repro.baselines.bans import BANsEnsemble
 from repro.core.config import RDDConfig
@@ -77,6 +78,13 @@ class HarnessConfig:
         :func:`repro.training.parallel.parallel_map`: retry failing
         cells with exponential backoff, and presume pooled cells lost
         after ``task_timeout`` seconds.
+    obs_dir:
+        When set, the observability layer (:mod:`repro.obs`) is enabled
+        for the run: spans and per-epoch RDD reliability diagnostics are
+        appended to ``<obs_dir>/events.jsonl`` (worker processes
+        included), summarizable with ``repro report <obs_dir>``.
+        ``None`` (the default) keeps observability off at zero cost.
+        An execution knob — excluded from the fingerprint.
     """
 
     scale: float = 0.2
@@ -97,6 +105,7 @@ class HarnessConfig:
     task_retries: int = 0
     retry_backoff: float = 0.05
     task_timeout: Optional[float] = None
+    obs_dir: Optional[str] = None
 
     def trainer(self) -> Trainer:
         return Trainer(
@@ -247,8 +256,10 @@ def _run_seed_task(task):
     runner, config, seed, index, kwargs = task
     fault_point("harness:seed", key=index)
     graph = get_shared()[index]
-    with default_dtype(config.dtype):
-        return runner(graph, config, seed, **kwargs)
+    runner_name = getattr(runner, "__name__", repr(runner))
+    with obs.span("harness:seed", seed=seed, index=index, runner=runner_name):
+        with default_dtype(config.dtype):
+            return runner(graph, config, seed, **kwargs)
 
 
 def _graph_fingerprint(graph: Graph) -> tuple:
@@ -284,6 +295,9 @@ def run_over_seeds(
     fingerprint, and dataset identity, so distinct loops inside one
     harness (or different configs) never collide.
     """
+    if config.obs_dir is not None:
+        obs.enable(config.obs_dir)
+
     graphs = list(graphs)
     tasks = [
         (runner, config, seed, index, kwargs)

@@ -1,0 +1,182 @@
+"""End-of-run summaries from a run's JSONL event log.
+
+``repro report <run_dir>`` reads the ``events.jsonl`` written by
+:mod:`repro.obs.trace` and renders:
+
+* a **span table** — count / total / mean / max wall time per span name,
+  the "where did the run go" view;
+* a **reliability table** — per student, the first→last-epoch trajectory
+  of the RDD diagnostics (``|V_r|``, ``|V_b|``, reliable edges,
+  teacher/student agreement, γ) plus the final-epoch loss components
+  ``L1``/``L2``/``Lreg``;
+* the run's aggregate metrics in **Prometheus text format**, rendered by
+  the same :func:`repro.obs.metrics.prometheus_text` exporter the
+  serving stack uses for ``GET /metrics?format=prometheus``.
+
+The log is the source of truth: worker processes append to the same
+file, so a report over a parallel run covers every worker's spans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricRegistry, prometheus_text
+from repro.obs.trace import EVENT_LOG_NAME
+
+#: The per-epoch diagnostics event name emitted by RDDTrainer.
+RDD_EPOCH_EVENT = "rdd_epoch"
+
+
+class ReportError(ReproError):
+    """A run directory has no readable event log."""
+
+
+def read_events(run_dir) -> List[dict]:
+    """Parse ``<run_dir>/events.jsonl`` (tolerating a torn final line).
+
+    A run killed mid-write leaves at most one partial trailing line;
+    anything unparseable is skipped rather than fatal, so a crashed
+    run's log is still reportable.
+    """
+    path = Path(run_dir)
+    if path.is_dir():
+        path = path / EVENT_LOG_NAME
+    if not path.exists():
+        raise ReportError(f"no event log at {path}; run with --obs-dir to record one")
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events
+
+
+def registry_from_events(events: List[dict]) -> MetricRegistry:
+    """Rebuild a :class:`MetricRegistry` from a run's event stream.
+
+    Span durations feed ``span_<name>_s`` histograms and
+    ``spans_<name>_total`` counters; point events feed
+    ``events_<name>_total`` counters.  This is the same shape a live
+    recorder's in-process registry has, so one Prometheus exporter
+    serves both.
+    """
+    registry = MetricRegistry()
+    for record in events:
+        kind, name = record.get("kind"), record.get("name")
+        if kind == "span":
+            registry.inc(f"spans_{name}_total")
+            registry.observe(f"span_{name}_s", float(record.get("dur_s", 0.0)))
+            if record.get("status") == "error":
+                registry.inc(f"span_errors_{name}_total")
+        elif kind == "point":
+            registry.inc(f"events_{name}_total")
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(title: str, rows: List[Dict[str, object]]) -> str:
+    if not rows:
+        return f"== {title} ==\n(no data)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)) for r in rendered
+    )
+    return f"== {title} ==\n{header}\n{separator}\n{body}"
+
+
+def span_rows(events: List[dict]) -> List[Dict[str, object]]:
+    """Aggregate span records into per-name timing rows."""
+    totals: Dict[str, List[float]] = {}
+    for record in events:
+        if record.get("kind") != "span":
+            continue
+        totals.setdefault(record["name"], []).append(float(record.get("dur_s", 0.0)))
+    rows = []
+    for name in sorted(totals, key=lambda n: -sum(totals[n])):
+        durations = totals[name]
+        rows.append(
+            {
+                "span": name,
+                "count": len(durations),
+                "total_s": sum(durations),
+                "mean_s": sum(durations) / len(durations),
+                "max_s": max(durations),
+            }
+        )
+    return rows
+
+
+def reliability_rows(events: List[dict]) -> List[Dict[str, object]]:
+    """Per-student first→last trajectory of the RDD epoch diagnostics."""
+    by_student: Dict[int, List[dict]] = {}
+    for record in events:
+        if record.get("kind") == "point" and record.get("name") == RDD_EPOCH_EVENT:
+            by_student.setdefault(int(record.get("student", 0)), []).append(record)
+    rows = []
+    for student in sorted(by_student):
+        trajectory = sorted(by_student[student], key=lambda r: r.get("epoch", 0))
+        first, last = trajectory[0], trajectory[-1]
+
+        def arrow(key):
+            return f"{_format_cell(first.get(key))}->{_format_cell(last.get(key))}"
+
+        rows.append(
+            {
+                "student": student,
+                "epochs": len(trajectory),
+                "num_reliable": arrow("num_reliable"),
+                "num_distill": arrow("num_distill"),
+                "reliable_edges": arrow("num_reliable_edges"),
+                "agreement": arrow("agreement"),
+                "gamma": arrow("gamma"),
+                "L1": float(last.get("L1", 0.0)),
+                "L2": float(last.get("L2", 0.0)),
+                "Lreg": float(last.get("Lreg", 0.0)),
+            }
+        )
+    return rows
+
+
+def render_report(run_dir, events: Optional[List[dict]] = None) -> str:
+    """The full text report for one run directory."""
+    if events is None:
+        events = read_events(run_dir)
+    points = sum(1 for record in events if record.get("kind") == "point")
+    spans = sum(1 for record in events if record.get("kind") == "span")
+    pids = sorted({record.get("pid") for record in events if "pid" in record})
+    header = (
+        f"run: {run_dir}\n"
+        f"events: {len(events)} ({spans} spans, {points} point events) "
+        f"from {len(pids)} process(es)"
+    )
+    sections = [header, _table("spans", span_rows(events))]
+    reliability = reliability_rows(events)
+    if reliability:
+        sections.append(_table("RDD reliability diagnostics (first->last epoch)", reliability))
+    else:
+        sections.append("== RDD reliability diagnostics ==\n(no rdd_epoch events in this run)")
+    sections.append(
+        "== metrics (prometheus) ==\n" + prometheus_text(registry_from_events(events).snapshot())
+    )
+    return "\n\n".join(sections)

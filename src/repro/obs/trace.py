@@ -1,0 +1,246 @@
+"""Span/timer tracing with a structured JSONL event log per run.
+
+The training observability layer answers "where did this run spend its
+time, and what did the RDD reliability machinery decide each epoch?"
+without a daemon or a dependency: one process-global
+:class:`EventRecorder` appends JSON lines to ``<obs_dir>/events.jsonl``.
+
+Three primitives::
+
+    obs.enable(run_dir)                  # idempotent per directory
+    with obs.span("epoch", epoch=3) as sp:
+        ...work...
+        sp.set(loss=0.41)                # attrs attached before exit
+    obs.event("rdd_epoch", gamma=0.7, num_reliable=412)
+
+* **spans** time a block on the monotonic clock; they nest (a
+  thread-local stack tracks parent/depth) and emit one ``span`` record
+  on exit carrying ``dur_s``, ``parent``, ``depth``, an ``ok``/``error``
+  status, and any attributes.  Span durations also feed the recorder's
+  :class:`~repro.obs.metrics.MetricRegistry` (histogram
+  ``span_<name>_s``), so a live process can be scraped mid-run.
+* **events** are point-in-time records — the per-epoch RDD reliability
+  diagnostics ride on these.
+* every record is stamped with wall-clock ``ts``, ``pid``, and thread
+  name — the log is **thread- and process-aware**.  Forked workers
+  (:func:`repro.training.parallel.parallel_map` pools) inherit the
+  enabled recorder; on the first emit in a new process the file is
+  reopened in append mode, so worker events land in the parent's log
+  (O_APPEND line writes, flushed per record).
+
+**Zero overhead when disabled**: ``span()``/``event()`` read one module
+global; disabled they return a shared no-op span (falsy, so callers can
+skip computing attribute values) or return immediately.  No file handle,
+no allocation beyond the kwargs dict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import IO, Optional
+
+import numpy as np
+
+from repro.obs.metrics import MetricRegistry
+
+EVENT_LOG_NAME = "events.jsonl"
+
+
+def _json_default(value):
+    """Coerce numpy scalars/arrays so diagnostics never kill a run."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return repr(value)
+
+
+class EventRecorder:
+    """Appends structured events for one run to ``<run_dir>/events.jsonl``."""
+
+    def __init__(self, run_dir):
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / EVENT_LOG_NAME
+        self.metrics = MetricRegistry()
+        self._local = threading.local()
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._file: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+
+    # -- span stack (per thread) ---------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- emission ------------------------------------------------------
+    def emit(self, kind: str, name: str, fields: dict) -> None:
+        record = {
+            "ts": time.time(),
+            "kind": kind,
+            "name": name,
+            "pid": os.getpid(),
+            "thread": threading.current_thread().name,
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=_json_default)
+        if os.getpid() != self._pid:
+            self._reopen_after_fork()
+        with self._lock:
+            if self._file is None:  # closed concurrently; drop the event
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def _reopen_after_fork(self) -> None:
+        """First emit in a forked worker: fresh handle, lock, span stack.
+
+        The inherited buffered handle (and a possibly-held lock) belong
+        to the parent; appending through a new O_APPEND handle keeps the
+        parent log as the single destination without sharing state.
+        """
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+class _Span:
+    """Context manager timing one block; emits a ``span`` record on exit."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_started")
+
+    def __init__(self, recorder: EventRecorder, name: str, attrs: dict):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self._started = 0.0
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set(self, **fields) -> "_Span":
+        """Attach attributes to the span record emitted at exit."""
+        self.attrs.update(fields)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = self._recorder._stack()
+        stack.append(self.name)
+        self._started = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.monotonic() - self._started
+        stack = self._recorder._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        depth = len(stack)
+        fields = {
+            "dur_s": duration,
+            "depth": depth,
+            "parent": stack[-1] if stack else None,
+            "status": "ok" if exc_type is None else "error",
+        }
+        if exc_type is not None:
+            fields["exception"] = exc_type.__name__
+        fields.update(self.attrs)
+        self._recorder.metrics.observe(f"span_{self.name}_s", duration)
+        self._recorder.emit("span", self.name, fields)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span handed out while observability is disabled.
+
+    Stateless, so one instance is safely reused across threads and
+    nesting levels.  Falsy: ``if sp: sp.set(expensive())`` skips the
+    attribute computation entirely when disabled.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **fields) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_RECORDER: Optional[EventRecorder] = None
+
+
+def enable(run_dir) -> EventRecorder:
+    """Start recording events under ``run_dir`` (idempotent per directory).
+
+    Re-enabling the currently active directory returns the live recorder
+    unchanged, so the CLI, ``HarnessConfig.obs_dir``, and library callers
+    can all point at the same run without clobbering each other.
+    Switching directories closes the old recorder and starts a new log.
+    """
+    global _RECORDER
+    resolved = Path(run_dir)
+    if _RECORDER is not None:
+        if _RECORDER.run_dir == resolved:
+            return _RECORDER
+        _RECORDER.close()
+    _RECORDER = EventRecorder(resolved)
+    _RECORDER.emit("run", "start", {"argv_pid": os.getpid()})
+    return _RECORDER
+
+
+def disable() -> None:
+    """Stop recording and close the event log (no-op when disabled)."""
+    global _RECORDER
+    if _RECORDER is not None:
+        _RECORDER.close()
+        _RECORDER = None
+
+
+def enabled() -> bool:
+    """Whether an event recorder is currently active."""
+    return _RECORDER is not None
+
+
+def recorder() -> Optional[EventRecorder]:
+    """The active :class:`EventRecorder`, or ``None`` when disabled."""
+    return _RECORDER
+
+
+def span(name: str, **attrs):
+    """Time a block: ``with obs.span("epoch", epoch=3): ...``.
+
+    Returns a no-op (falsy) span while observability is disabled.
+    """
+    active = _RECORDER
+    if active is None:
+        return _NULL_SPAN
+    return _Span(active, name, attrs)
+
+
+def event(name: str, **fields) -> None:
+    """Emit one point-in-time record (no-op while disabled)."""
+    active = _RECORDER
+    if active is not None:
+        active.emit("point", name, fields)

@@ -28,12 +28,18 @@ from repro.serving.artifacts import (
 )
 from repro.serving.batching import BatcherClosed, MicroBatcher
 from repro.serving.engine import PredictionEngine, ServingError
-from repro.serving.metrics import ServingMetrics, WindowHistogram
+from repro.serving.metrics import (
+    MetricRegistry,
+    ServingMetrics,
+    WindowHistogram,
+    prometheus_text,
+)
 from repro.serving.server import PredictionServer
 
 __all__ = [
     "ArtifactError",
     "BatcherClosed",
+    "MetricRegistry",
     "MicroBatcher",
     "ModelArtifact",
     "ModelSpec",
@@ -47,5 +53,6 @@ __all__ = [
     "graph_fingerprint",
     "load_artifact",
     "model_kinds",
+    "prometheus_text",
     "register_model_kind",
 ]

@@ -110,16 +110,22 @@ class MicroBatcher:
     # Client side
     # ------------------------------------------------------------------
     def submit(self, payload: object) -> Future:
-        """Enqueue one request; returns a future resolving to its result."""
+        """Enqueue one request; returns a future resolving to its result.
+
+        The closed check and the enqueue happen under one lock: checking,
+        releasing, and then enqueuing would let a request racing
+        :meth:`close` land *behind* the shutdown sentinels, where no
+        worker would ever resolve its future.
+        """
         with self._lock:
             if self._closed:
                 raise BatcherClosed("batcher is closed")
             key = self._sequence
             self._sequence += 1
+            pending = _Pending(key=key, payload=payload)
+            self._queue.put(pending)
         if self.metrics is not None:
             self.metrics.inc("requests_total")
-        pending = _Pending(key=key, payload=payload)
-        self._queue.put(pending)
         return pending.future
 
     def predict(self, payload: object, timeout: Optional[float] = None) -> object:
@@ -127,15 +133,41 @@ class MicroBatcher:
         return self.submit(payload).result(timeout=timeout)
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Stop accepting requests; drain workers."""
+        """Stop accepting requests; drain workers; fail leftovers.
+
+        Workers batch whatever precedes their shutdown sentinel, but a
+        request enqueued between one worker's sentinel and another's (or
+        left behind by a worker that died or timed out) would otherwise
+        sit on the queue forever with its future unresolved — a
+        ``predict()`` caller with no timeout hangs for good.  After the
+        joins, everything still queued is failed with
+        :class:`BatcherClosed`, so every future ever returned by
+        :meth:`submit` resolves.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._threads:
-            self._queue.put(_SHUTDOWN)
+            # Under the same lock as submit's enqueue: nothing can land
+            # behind these sentinels.
+            for _ in self._threads:
+                self._queue.put(_SHUTDOWN)
         for thread in self._threads:
             thread.join(timeout=timeout)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            self._fail(item, BatcherClosed("batcher closed before the request ran"))
+        # A worker that outlived its join (wedged in a slow batch_fn) may
+        # have had its sentinel swallowed by the drain; repost one per
+        # survivor so it can still exit once its batch returns.
+        for thread in self._threads:
+            if thread.is_alive():
+                self._queue.put(_SHUTDOWN)
 
     def __enter__(self) -> "MicroBatcher":
         return self

@@ -1,90 +1,25 @@
-"""Serving observability: counters and windowed histograms.
+"""Serving observability: counters and windowed latency/batch histograms.
 
-The serving stack records three kinds of signal:
-
-* **counters** — monotonically increasing totals (requests, errors,
-  batches, HTTP statuses).  Open-ended by name so every layer can count
-  what it sees without schema changes.
-* **histograms** — bounded sliding windows over recent observations
-  (request latency, batch size) summarized as count/mean/min/max and
-  p50/p90/p99 percentiles.  A ring buffer keeps memory constant under
-  unbounded traffic; the percentiles describe the recent window, which
-  is what an operator watching a live service wants anyway.
-
-Everything is guarded by one lock — observations are a few appends, so
-contention is negligible next to a forward pass.  ``snapshot()`` returns
-plain JSON-ready dicts and is what ``/metrics`` serves.
+The primitives live in :mod:`repro.obs.metrics` — one
+:class:`~repro.obs.metrics.MetricRegistry` implementation shared by the
+serving stack and the training observability layer, with one Prometheus
+exporter behind both ``GET /metrics?format=prometheus`` and
+``repro report``.  This module keeps the serving-flavoured surface:
+:class:`ServingMetrics` adds the latency/batch-size conveniences the
+batcher and HTTP server record, and ``WindowHistogram`` /
+``prometheus_text`` are re-exported for compatibility with existing
+imports.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional
+from repro.obs.metrics import MetricRegistry, WindowHistogram, prometheus_text
 
-import numpy as np
-
-
-class WindowHistogram:
-    """Fixed-capacity ring buffer with percentile summaries."""
-
-    def __init__(self, window: int = 8192):
-        if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
-        self._window = window
-        self._values: List[float] = []
-        self._next = 0
-        self._count = 0  # total observations ever, not just the window
-
-    def add(self, value: float) -> None:
-        self._count += 1
-        if len(self._values) < self._window:
-            self._values.append(float(value))
-        else:
-            self._values[self._next] = float(value)
-            self._next = (self._next + 1) % self._window
-
-    def summary(self) -> dict:
-        if not self._values:
-            return {"count": 0}
-        window = np.asarray(self._values, dtype=np.float64)
-        p50, p90, p99 = np.percentile(window, [50.0, 90.0, 99.0])
-        return {
-            "count": self._count,
-            "window": len(self._values),
-            "mean": float(window.mean()),
-            "min": float(window.min()),
-            "max": float(window.max()),
-            "p50": float(p50),
-            "p90": float(p90),
-            "p99": float(p99),
-        }
+__all__ = ["MetricRegistry", "ServingMetrics", "WindowHistogram", "prometheus_text"]
 
 
-class ServingMetrics:
+class ServingMetrics(MetricRegistry):
     """Thread-safe counters + histograms for one serving process."""
-
-    def __init__(self, window: int = 8192):
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._window = window
-        self._histograms: Dict[str, WindowHistogram] = {}
-
-    # -- counters ------------------------------------------------------
-    def inc(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + int(amount)
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    # -- histograms ----------------------------------------------------
-    def observe(self, name: str, value: float) -> None:
-        with self._lock:
-            histogram = self._histograms.get(name)
-            if histogram is None:
-                histogram = self._histograms[name] = WindowHistogram(self._window)
-            histogram.add(value)
 
     def observe_latency(self, seconds: float) -> None:
         """Record one request's end-to-end latency (stored in ms)."""
@@ -93,23 +28,3 @@ class ServingMetrics:
     def observe_batch_size(self, size: int) -> None:
         self.observe("batch_size", size)
         self.inc("batches_total")
-
-    # -- export --------------------------------------------------------
-    def snapshot(self) -> dict:
-        """JSON-ready view of every counter and histogram summary."""
-        with self._lock:
-            return {
-                "counters": dict(sorted(self._counters.items())),
-                "histograms": {
-                    name: histogram.summary()
-                    for name, histogram in sorted(self._histograms.items())
-                },
-            }
-
-    def percentile(self, name: str, key: str = "p50") -> Optional[float]:
-        """One percentile of one histogram, or ``None`` before any data."""
-        with self._lock:
-            histogram = self._histograms.get(name)
-        if histogram is None:
-            return None
-        return histogram.summary().get(key)

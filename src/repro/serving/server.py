@@ -31,6 +31,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
+from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
@@ -38,7 +39,7 @@ from repro.errors import ReproError
 from repro.models.base import softmax_rows
 from repro.serving.batching import MicroBatcher
 from repro.serving.engine import PredictionEngine, ServingError
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import ServingMetrics, prometheus_text
 
 
 class PredictionServer:
@@ -207,12 +208,33 @@ def _make_handler(server: PredictionServer):
             self.wfile.write(blob)
             server.metrics.inc(f"http_{status}")
 
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            blob = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+            server.metrics.inc(f"http_{status}")
+
         # -- routes ----------------------------------------------------
         def do_GET(self) -> None:
-            if self.path == "/healthz":
+            parsed = urlparse(self.path)
+            if parsed.path == "/healthz":
                 self._send_json(200, server.health())
-            elif self.path == "/metrics":
-                self._send_json(200, server.metrics.snapshot())
+            elif parsed.path == "/metrics":
+                # JSON snapshot by default (the original contract);
+                # ?format=prometheus serves the text exposition format
+                # via the shared repro.obs.metrics exporter.
+                formats = parse_qs(parsed.query).get("format", [])
+                if formats and formats[-1] == "prometheus":
+                    self._send_text(
+                        200,
+                        prometheus_text(server.metrics.snapshot()),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    self._send_json(200, server.metrics.snapshot())
             else:
                 self._send_json(404, {"error": f"unknown path {self.path}"})
 

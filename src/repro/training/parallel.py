@@ -48,6 +48,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import TrainingError
 from repro.testing.faults import fault_point
 
@@ -146,9 +147,15 @@ def _pickle_check(fn, items) -> tuple:
 # Task execution
 # ----------------------------------------------------------------------
 def _invoke_task(fn, index, item):
-    """Run one task (in a worker or in-process) through its fault point."""
+    """Run one task (in a worker or in-process) through its fault point.
+
+    The span lands in the parent's event log even from a pooled worker:
+    forked workers inherit the enabled recorder, which reopens the same
+    ``events.jsonl`` in append mode on first emit in the new process.
+    """
     fault_point("parallel:task", key=index)
-    return fn(item)
+    with obs.span("parallel:task", index=index):
+        return fn(item)
 
 
 def _backoff_sleep(backoff: float, attempt: int) -> None:

@@ -12,6 +12,7 @@ import inspect
 import time
 from typing import Callable, Optional
 
+import repro.obs as obs
 from repro.errors import TrainingError
 from repro.graph.graph import Graph
 from repro.models.base import GraphModel
@@ -140,30 +141,34 @@ class Trainer:
         arena = GradArena()
 
         epochs_run = 0
-        with use_fused_ops(self.fused):
+        fit_span = obs.span("trainer:fit", max_epochs=self.max_epochs)
+        with fit_span, use_fused_ops(self.fused):
             for epoch in range(self.max_epochs):
                 fault_point("trainer:epoch", key=epoch)
                 epochs_run = epoch + 1
-                if epoch_callback is not None:
-                    if share_logits:
-                        if eval_logits is None:  # bootstrap forward for epoch 0 only
-                            eval_logits = model.predict_logits(graph)
-                        epoch_callback(epoch, model, eval_logits)
-                    elif wants_logits:
-                        epoch_callback(epoch, model, None)
-                    else:
-                        epoch_callback(epoch, model)
+                with obs.span("epoch", epoch=epoch) as epoch_span:
+                    if epoch_callback is not None:
+                        if share_logits:
+                            if eval_logits is None:  # bootstrap forward for epoch 0 only
+                                eval_logits = model.predict_logits(graph)
+                            epoch_callback(epoch, model, eval_logits)
+                        elif wants_logits:
+                            epoch_callback(epoch, model, None)
+                        else:
+                            epoch_callback(epoch, model)
 
-                model.train()
-                with arena.record():
-                    logits = model(graph)
-                    loss = loss_fn(model, logits, epoch)
-                optimizer.zero_grad()
-                arena.backward(loss)
-                optimizer.step()
+                    model.train()
+                    with arena.record():
+                        logits = model(graph)
+                        loss = loss_fn(model, logits, epoch)
+                    optimizer.zero_grad()
+                    arena.backward(loss)
+                    optimizer.step()
 
-                eval_logits = model.predict_logits(graph)
-                val_acc = accuracy(eval_logits, graph.labels, graph.val_index)
+                    eval_logits = model.predict_logits(graph)
+                    val_acc = accuracy(eval_logits, graph.labels, graph.val_index)
+                    if epoch_span:
+                        epoch_span.set(loss=loss.item(), val_accuracy=val_acc)
                 if self.record_history:
                     history.append({"epoch": epoch, "loss": loss.item(), "val_accuracy": val_acc})
                 should_stop = stopper.update(val_acc, epoch)
@@ -171,6 +176,8 @@ class Trainer:
                     best_state = model.state_dict()
                 if should_stop and epoch + 1 >= self.min_epochs:
                     break
+            if fit_span:
+                fit_span.set(epochs_run=epochs_run, best_epoch=stopper.best_epoch)
 
         model.load_state_dict(best_state)
         predictions = model.predict_logits(graph)

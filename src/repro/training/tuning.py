@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
 from repro.testing.faults import fault_point
@@ -58,7 +59,8 @@ def _run_grid_cell(task) -> TrainResult:
     factory, graph, trainer = get_shared()
     rng = np.random.default_rng(seed + 7919 * i)
     model = factory(graph, rng, **cell)
-    return trainer.fit(model, graph)
+    with obs.span("grid:cell", index=i, **cell):
+        return trainer.fit(model, graph)
 
 
 def grid_search(

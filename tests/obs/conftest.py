@@ -1,0 +1,13 @@
+"""Observability tests toggle the process-global recorder; always
+disable it afterwards so the rest of the suite runs unobserved."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_after():
+    obs.disable()
+    yield
+    obs.disable()

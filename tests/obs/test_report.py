@@ -1,0 +1,133 @@
+"""`repro report`: reconstructing summaries from a run's event log."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main
+from repro.core.config import RDDConfig
+from repro.core.rdd import RDDTrainer
+from repro.datasets.citation import cora_like
+from repro.obs import EVENT_LOG_NAME
+from repro.obs.report import (
+    ReportError,
+    read_events,
+    registry_from_events,
+    reliability_rows,
+    render_report,
+    span_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def rdd_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("rdd_run")
+    obs.enable(run_dir)
+    config = RDDConfig(num_base_models=2, max_epochs=4, patience=4, hidden=8)
+    RDDTrainer(config).fit(cora_like(seed=0, scale=0.05), seed=0)
+    obs.disable()
+    return run_dir
+
+
+class TestReadEvents:
+    def test_missing_log_raises_report_error(self, tmp_path):
+        with pytest.raises(ReportError, match="--obs-dir"):
+            read_events(tmp_path)
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / EVENT_LOG_NAME
+        good = json.dumps({"kind": "point", "name": "x"})
+        path.write_text(good + "\n" + '{"kind": "point", "na', encoding="utf-8")
+        events = read_events(tmp_path)
+        assert len(events) == 1 and events[0]["name"] == "x"
+
+    def test_accepts_a_file_path_too(self, tmp_path):
+        path = tmp_path / EVENT_LOG_NAME
+        path.write_text(json.dumps({"kind": "point", "name": "x"}) + "\n", encoding="utf-8")
+        assert read_events(path) == read_events(tmp_path)
+
+
+class TestAggregation:
+    def test_registry_from_events_counts_spans_points_and_errors(self):
+        events = [
+            {"kind": "span", "name": "epoch", "dur_s": 0.5, "status": "ok"},
+            {"kind": "span", "name": "epoch", "dur_s": 1.5, "status": "error"},
+            {"kind": "point", "name": "rdd_epoch"},
+        ]
+        registry = registry_from_events(events)
+        assert registry.counter("spans_epoch_total") == 2
+        assert registry.counter("span_errors_epoch_total") == 1
+        assert registry.counter("events_rdd_epoch_total") == 1
+        assert registry.percentile("span_epoch_s", "max") == 1.5
+
+    def test_span_rows_sorted_by_total_time(self):
+        events = [
+            {"kind": "span", "name": "fast", "dur_s": 0.1},
+            {"kind": "span", "name": "slow", "dur_s": 5.0},
+            {"kind": "span", "name": "fast", "dur_s": 0.3},
+        ]
+        rows = span_rows(events)
+        assert [row["span"] for row in rows] == ["slow", "fast"]
+        fast = rows[1]
+        assert fast["count"] == 2
+        assert fast["total_s"] == pytest.approx(0.4)
+        assert fast["mean_s"] == pytest.approx(0.2)
+        assert fast["max_s"] == pytest.approx(0.3)
+
+    def test_reliability_rows_show_first_to_last_trajectory(self):
+        events = [
+            {
+                "kind": "point",
+                "name": "rdd_epoch",
+                "student": 1,
+                "epoch": epoch,
+                "num_reliable": 10 + epoch,
+                "num_distill": 5,
+                "num_reliable_edges": 20,
+                "agreement": 0.5,
+                "gamma": 1.0 - 0.1 * epoch,
+                "L1": 0.9,
+                "L2": 0.4,
+                "Lreg": 0.01,
+            }
+            for epoch in (0, 1, 2)
+        ]
+        (row,) = reliability_rows(events)
+        assert row["student"] == 1 and row["epochs"] == 3
+        assert row["num_reliable"] == "10->12"
+        assert row["gamma"] == "1->0.8"
+        assert row["L1"] == 0.9 and row["L2"] == 0.4 and row["Lreg"] == 0.01
+
+
+class TestRenderedReport:
+    def test_report_covers_spans_reliability_and_prometheus(self, rdd_run):
+        text = render_report(rdd_run)
+        assert "== spans ==" in text
+        assert "epoch" in text
+        assert "RDD reliability diagnostics" in text
+        assert "== metrics (prometheus) ==" in text
+        assert "repro_spans_epoch_total" in text
+
+    def test_report_without_rdd_events_says_so(self, tmp_path):
+        path = tmp_path / EVENT_LOG_NAME
+        path.write_text(
+            json.dumps({"kind": "span", "name": "epoch", "dur_s": 0.1}) + "\n",
+            encoding="utf-8",
+        )
+        assert "no rdd_epoch events" in render_report(tmp_path)
+
+
+class TestCLI:
+    def test_report_command_prints_the_summary(self, rdd_run, capsys):
+        assert main(["report", str(rdd_run)]) == 0
+        out = capsys.readouterr().out
+        assert "RDD reliability diagnostics" in out
+
+    def test_report_prometheus_format(self, rdd_run, capsys):
+        assert main(["report", str(rdd_run), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_spans_epoch_total counter" in out
+
+    def test_report_on_empty_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) != 0

@@ -1,0 +1,153 @@
+"""Span/timer tracing: the JSONL event log and its zero-cost off switch."""
+
+import json
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import EVENT_LOG_NAME
+
+
+def read_log(run_dir):
+    with open(run_dir / EVENT_LOG_NAME, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestDisabled:
+    def test_span_is_the_shared_falsy_noop(self):
+        first = obs.span("anything", attr=1)
+        second = obs.span("else")
+        assert first is second
+        assert not first
+        assert first.set(loss=1.0) is first  # chainable no-op
+        with first:
+            pass
+
+    def test_event_is_a_noop_and_nothing_is_written(self, tmp_path):
+        obs.event("rdd_epoch", gamma=0.5)
+        assert not obs.enabled()
+        assert obs.recorder() is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestEnabled:
+    def test_enable_emits_run_start_and_is_idempotent(self, tmp_path):
+        recorder = obs.enable(tmp_path)
+        assert obs.enable(tmp_path) is recorder  # same dir -> same recorder
+        assert obs.enabled() and obs.recorder() is recorder
+        events = read_log(tmp_path)
+        assert len(events) == 1
+        assert events[0]["kind"] == "run" and events[0]["name"] == "start"
+
+    def test_switching_directories_starts_a_new_log(self, tmp_path):
+        first = obs.enable(tmp_path / "a")
+        second = obs.enable(tmp_path / "b")
+        assert second is not first
+        obs.event("only_in_b")
+        names = [e["name"] for e in read_log(tmp_path / "b")]
+        assert "only_in_b" in names
+        assert "only_in_b" not in [e["name"] for e in read_log(tmp_path / "a")]
+
+    def test_span_records_duration_status_and_attrs(self, tmp_path):
+        obs.enable(tmp_path)
+        with obs.span("epoch", epoch=3) as sp:
+            assert sp
+            sp.set(loss=0.25)
+        record = [e for e in read_log(tmp_path) if e["kind"] == "span"][0]
+        assert record["name"] == "epoch"
+        assert record["epoch"] == 3 and record["loss"] == 0.25
+        assert record["status"] == "ok"
+        assert record["dur_s"] >= 0.0
+        assert record["depth"] == 0 and record["parent"] is None
+        assert "pid" in record and "thread" in record
+
+    def test_nested_spans_record_parent_and_depth(self, tmp_path):
+        obs.enable(tmp_path)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = {e["name"]: e for e in read_log(tmp_path) if e["kind"] == "span"}
+        assert spans["inner"]["parent"] == "outer" and spans["inner"]["depth"] == 1
+        assert spans["outer"]["parent"] is None and spans["outer"]["depth"] == 0
+
+    def test_exception_marks_span_error_and_propagates(self, tmp_path):
+        obs.enable(tmp_path)
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        record = [e for e in read_log(tmp_path) if e["kind"] == "span"][0]
+        assert record["status"] == "error"
+        assert record["exception"] == "ValueError"
+
+    def test_span_durations_feed_the_live_registry(self, tmp_path):
+        recorder = obs.enable(tmp_path)
+        with obs.span("epoch"):
+            pass
+        snapshot = recorder.metrics.snapshot()
+        assert snapshot["histograms"]["span_epoch_s"]["count"] == 1
+
+    def test_numpy_values_serialize(self, tmp_path):
+        import numpy as np
+
+        obs.enable(tmp_path)
+        obs.event("diag", count=np.int64(7), score=np.float32(0.5), vec=np.arange(3))
+        record = [e for e in read_log(tmp_path) if e["name"] == "diag"][0]
+        assert record["count"] == 7
+        assert record["score"] == 0.5
+        assert record["vec"] == [0, 1, 2]
+
+    def test_span_stacks_are_thread_local(self, tmp_path):
+        obs.enable(tmp_path)
+        ready, release = threading.Barrier(2), threading.Event()
+
+        def worker():
+            with obs.span("worker_outer"):
+                ready.wait(timeout=5)
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        ready.wait(timeout=5)
+        # Main thread's span must not see the worker's open span as parent.
+        with obs.span("main_top"):
+            pass
+        release.set()
+        thread.join(timeout=5)
+        spans = {e["name"]: e for e in read_log(tmp_path) if e["kind"] == "span"}
+        assert spans["main_top"]["parent"] is None and spans["main_top"]["depth"] == 0
+
+    def test_disable_closes_the_log(self, tmp_path):
+        obs.enable(tmp_path)
+        obs.disable()
+        assert not obs.enabled()
+        obs.event("dropped")  # no-op, must not raise
+        assert all(e["name"] != "dropped" for e in read_log(tmp_path))
+
+
+class TestWorkerForwarding:
+    def test_harness_worker_spans_land_in_the_parent_log(self, tmp_path):
+        # Forked run_over_seeds workers inherit the enabled recorder and
+        # append to the same events.jsonl; every seed's harness span must
+        # be present regardless of which process ran it.  (On platforms
+        # without fork the harness falls back to serial, which trivially
+        # satisfies the same contract.)
+        from repro.datasets.citation import cora_like
+        from repro.evaluation.common import HarnessConfig, run_over_seeds, run_rdd
+
+        config = HarnessConfig(
+            scale=0.05,
+            seeds=(0, 1),
+            num_base_models=2,
+            max_epochs=3,
+            patience=3,
+            hidden=8,
+            workers=2,
+            obs_dir=str(tmp_path),
+        )
+        graphs = [cora_like(seed=s, scale=config.scale) for s in config.seeds]
+        run_over_seeds(run_rdd, graphs, config)
+        events = read_log(tmp_path)
+        seed_spans = [e for e in events if e["kind"] == "span" and e["name"] == "harness:seed"]
+        assert sorted(e["seed"] for e in seed_spans) == [0, 1]
+        assert any(e["name"] == "rdd_epoch" for e in events)

@@ -156,6 +156,85 @@ class TestFaultIsolation:
 
 
 # ----------------------------------------------------------------------
+# Shutdown races (regression tests)
+# ----------------------------------------------------------------------
+class TestShutdownRaces:
+    def test_close_fails_requests_still_queued_behind_the_sentinel(self):
+        # Regression: close() used to join the workers and return, leaving
+        # _Pending items queued behind the shutdown sentinel with their
+        # futures forever unresolved — predict() with no timeout hung.
+        release = threading.Event()
+
+        def blocking_batch_fn(payloads):
+            release.wait(timeout=30)
+            return [p for p in payloads]
+
+        batcher = MicroBatcher(blocking_batch_fn, max_batch_size=1, max_wait_s=0.0)
+        first = batcher.submit("a")  # a worker takes this and blocks
+        # Wait until the worker is actually inside batch_fn so the rest
+        # of the stream stays queued.
+        deadline = threading.Event()
+        while batcher._queue.qsize() and not deadline.wait(0.01):
+            pass
+        queued = [batcher.submit(payload) for payload in ("b", "c", "d")]
+
+        closer = threading.Thread(target=batcher.close, kwargs={"timeout": 0.2})
+        closer.start()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+
+        # Every queued future resolved — with BatcherClosed, not a hang.
+        for future in queued:
+            with pytest.raises(BatcherClosed):
+                future.result(timeout=5)
+        # The in-flight request still completes once the worker unblocks.
+        release.set()
+        assert first.result(timeout=10) == "a"
+
+    def test_submit_close_race_never_leaves_a_hung_future(self):
+        # Regression: submit() checked _closed, released the lock, then
+        # enqueued — a request racing close() could land behind the
+        # sentinel and hang.  Hammer the race: every future returned by
+        # submit must resolve (result or BatcherClosed) within a timeout.
+        for _ in range(20):
+            batcher = MicroBatcher(
+                lambda payloads: [p * 2 for p in payloads],
+                max_batch_size=4,
+                max_wait_s=0.0,
+                workers=2,
+            )
+            futures, lock = [], threading.Lock()
+            start = threading.Barrier(5)
+
+            def client():
+                try:
+                    start.wait(timeout=5)
+                except threading.BrokenBarrierError:
+                    return
+                while True:
+                    try:
+                        future = batcher.submit(1)
+                    except BatcherClosed:
+                        return
+                    with lock:
+                        futures.append(future)
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            start.wait(timeout=5)
+            batcher.close()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert not any(thread.is_alive() for thread in threads)
+            for future in futures:
+                try:
+                    assert future.result(timeout=5) == 2
+                except BatcherClosed:
+                    pass  # failed cleanly at shutdown: acceptable, not a hang
+
+
+# ----------------------------------------------------------------------
 # Lifecycle
 # ----------------------------------------------------------------------
 class TestLifecycle:

@@ -71,6 +71,42 @@ class TestServingMetrics:
         assert snapshot["histograms"]["latency_ms"]["count"] == 1
         json.dumps(snapshot)  # must not raise
 
+    def test_percentile_races_observe_without_errors(self):
+        # Regression: percentile() used to grab the histogram under the
+        # lock but call summary() after releasing it, racing the ring
+        # buffer against concurrent add() calls.  Hammer readers against
+        # writers: every read must return a coherent value, never raise.
+        metrics = ServingMetrics()
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            value = 0.0
+            while not stop.is_set():
+                metrics.observe("latency_ms", value % 100.0)
+                value += 1.0
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    p50 = metrics.percentile("latency_ms", "p50")
+                except Exception as exc:  # noqa: BLE001 - the regression itself
+                    failures.append(exc)
+                    return
+                if p50 is not None and not (0.0 <= p50 < 100.0):
+                    failures.append(p50)
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not failures
+
     def test_thread_safety_under_contention(self):
         metrics = ServingMetrics()
 
