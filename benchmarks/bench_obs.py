@@ -19,6 +19,11 @@ the paired-sum ratio averages the noise away.  The ratio is capped at
 ``scripts/check_bench.py`` (``BENCH_obs.json`` is the committed
 baseline).
 
+The same protocol runs twice: once for the full-batch trainer and once
+for the neighbor-sampled loop (``sampler="neighbor"``), which emits one
+``sampler:batch`` span per optimizer step — the chattiest span site in
+the repo — so the sampled ratio is the stress case for the budget.
+
 Run ``python scripts/bench_obs.py`` to refresh the baseline.  The pytest
 entry is ``perf``-marked and excluded from tier-1.
 """
@@ -60,22 +65,8 @@ def _timed_fit(config: RDDConfig, graph, run_dir) -> float:
         obs.disable()
 
 
-def run_benchmark(quick: bool = False) -> Dict[str, object]:
-    # quick trims the repeat count, never the workload: both modes
-    # always run the same fixed-epoch fit, so the ratio stays
-    # comparable.  The workload must keep epochs at paper scale
-    # (milliseconds of numpy, not microseconds) — the obs cost is a
-    # fixed few JSON lines per epoch, so a toy epoch would overstate
-    # the relative overhead — and each fit must be long enough that
-    # per-fit scheduler jitter (a few ms) averages out across pairs.
-    scale = 1.0
-    max_epochs = 20
-    repeats = 5 if quick else 8
-    config = RDDConfig(
-        num_base_models=2, max_epochs=max_epochs, patience=max_epochs, hidden=32
-    )
-    graph = cora_like(seed=0, scale=scale)
-
+def _paired_overhead(config: RDDConfig, graph, repeats: int) -> Dict[str, float]:
+    """Alternating-order paired enabled/disabled timing for one config."""
     # Warm-up: JIT-free numpy still benefits from touched caches/pages.
     _timed_fit(config, graph, None)
 
@@ -98,14 +89,46 @@ def run_benchmark(quick: bool = False) -> Dict[str, object]:
     # summing before dividing cancels drift that a min-of-N would not.
     disabled_s, enabled_s = sum(disabled_times), sum(enabled_times)
     return {
-        "graph": {"name": graph.name, "nodes": graph.num_nodes},
-        "max_epochs": max_epochs,
-        "num_base_models": config.num_base_models,
-        "repeats": repeats,
         "events_per_run": events_logged,
         "disabled_s": disabled_s,
         "enabled_s": enabled_s,
         "overhead": enabled_s / disabled_s,
+    }
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, object]:
+    # quick trims the repeat count, never the workload: both modes
+    # always run the same fixed-epoch fit, so the ratio stays
+    # comparable.  The workload must keep epochs at paper scale
+    # (milliseconds of numpy, not microseconds) — the obs cost is a
+    # fixed few JSON lines per epoch, so a toy epoch would overstate
+    # the relative overhead — and each fit must be long enough that
+    # per-fit scheduler jitter (a few ms) averages out across pairs.
+    scale = 1.0
+    max_epochs = 20
+    repeats = 5 if quick else 8
+    graph = cora_like(seed=0, scale=scale)
+    full_config = RDDConfig(
+        num_base_models=2, max_epochs=max_epochs, patience=max_epochs, hidden=32
+    )
+    sampled_config = RDDConfig(
+        num_base_models=2, max_epochs=max_epochs, patience=max_epochs, hidden=32,
+        sampler="neighbor", fanouts=(10, 10), batch_size=512,
+    )
+
+    full = _paired_overhead(full_config, graph, repeats)
+    sampled = _paired_overhead(sampled_config, graph, repeats)
+    return {
+        "graph": {"name": graph.name, "nodes": graph.num_nodes},
+        "max_epochs": max_epochs,
+        "num_base_models": full_config.num_base_models,
+        "repeats": repeats,
+        "events_per_run": full["events_per_run"],
+        "disabled_s": full["disabled_s"],
+        "enabled_s": full["enabled_s"],
+        "overhead": full["overhead"],
+        "sampled": sampled,
+        "sampled_overhead": sampled["overhead"],
     }
 
 
@@ -127,6 +150,10 @@ def test_obs_overhead_within_budget():
         f"observability overhead {results['overhead']:.3f}x exceeds the "
         f"{OVERHEAD_LIMIT:.2f}x budget (enabled {results['enabled_s']:.2f}s "
         f"vs disabled {results['disabled_s']:.2f}s)"
+    )
+    assert results["sampled_overhead"] <= OVERHEAD_LIMIT, (
+        f"sampled-path observability overhead {results['sampled_overhead']:.3f}x "
+        f"exceeds the {OVERHEAD_LIMIT:.2f}x budget"
     )
 
 

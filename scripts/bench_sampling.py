@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Run the neighbor-sampling benchmark and write ``BENCH_sampling.json``.
+
+Thin launcher for :mod:`benchmarks.bench_sampling` (kept under
+``scripts/`` next to the other bench entry points)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.bench_sampling import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

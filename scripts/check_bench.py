@@ -8,15 +8,20 @@ Three benches are guarded, each against its committed baseline JSON:
 * **serving** (``BENCH_serving.json``) — micro-batched vs unbatched
   prediction throughput at concurrency 8;
 * **obs** (``BENCH_obs.json``) — training-time overhead of the enabled
-  observability layer (event log + per-epoch RDD diagnostics).
+  observability layer (event log + per-epoch RDD diagnostics), for both
+  the full-batch and the neighbor-sampled training loop;
+* **sampling** (``BENCH_sampling.json``) — vectorized CSR sampler
+  speedup over the per-node loop, and the sampled-vs-full-batch peak
+  RSS ratio at 10x graph scale.
 
 Absolute times are machine-dependent, so only the *ratios* are compared:
 a fresh speedup may drift down to ``TOLERANCE`` (default 0.75) times the
 committed value before the check fails.  Each bench also keeps an
 absolute acceptance bound regardless of the baseline: 1.5x for the
 trainstep headline (deep taped regime), 2.0x for the serving
-batched/unbatched ratio, and at most 1.05x enabled-vs-disabled wall time
-for obs.
+batched/unbatched ratio, at most 1.05x enabled-vs-disabled wall time
+for obs, and for sampling at least 5x sampler speedup with the sampled
+peak RSS at most half of full-batch.
 
 Usage::
 
@@ -49,6 +54,7 @@ import pytest  # noqa: E402
 BASELINE_PATH = REPO_ROOT / "BENCH_trainstep.json"
 SERVING_BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
 OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
+SAMPLING_BASELINE_PATH = REPO_ROOT / "BENCH_sampling.json"
 
 # A fresh speedup may drop to this fraction of the committed one before
 # the check fails — wide enough for cross-machine and scheduler noise,
@@ -175,14 +181,21 @@ def compare_obs(fresh: Dict[str, object], limit: float | None = None) -> List[st
     from benchmarks.bench_obs import OVERHEAD_LIMIT
 
     limit = OVERHEAD_LIMIT if limit is None else limit
+    failures = []
     overhead = fresh["overhead"]
     if overhead > limit:
-        return [
+        failures.append(
             f"obs: enabled-mode overhead {overhead:.3f}x exceeds the "
             f"{limit:.2f}x budget (enabled {fresh['enabled_s']:.2f}s vs "
             f"disabled {fresh['disabled_s']:.2f}s)"
-        ]
-    return []
+        )
+    sampled = fresh.get("sampled_overhead")
+    if sampled is not None and sampled > limit:
+        failures.append(
+            f"obs: sampled-path overhead {sampled:.3f}x exceeds the "
+            f"{limit:.2f}x budget (one sampler:batch span per optimizer step)"
+        )
+    return failures
 
 
 def run_check_obs(quick: bool = False) -> List[str]:
@@ -193,9 +206,69 @@ def run_check_obs(quick: bool = False) -> List[str]:
     print(
         f"{'obs':11s} fresh {fresh['overhead']:5.3f}x  "
         f"committed {baseline['overhead']:5.3f}x  "
-        f"(enabled {fresh['enabled_s']:.2f}s, disabled {fresh['disabled_s']:.2f}s)"
+        f"(enabled {fresh['enabled_s']:.2f}s, disabled {fresh['disabled_s']:.2f}s, "
+        f"sampled {fresh['sampled_overhead']:5.3f}x)"
     )
     return compare_obs(fresh)
+
+
+# ----------------------------------------------------------------------
+# Neighbor sampling (BENCH_sampling.json)
+# ----------------------------------------------------------------------
+def load_sampling_baseline(path: Path = SAMPLING_BASELINE_PATH) -> Dict[str, object]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed baseline at {path}; run scripts/bench_sampling.py first"
+        )
+    return json.loads(path.read_text())
+
+
+def compare_sampling(
+    fresh: Dict[str, object], baseline: Dict[str, object], tolerance: float = TOLERANCE
+) -> List[str]:
+    """Regression messages for the sampling bench (empty when it holds).
+
+    The sampler speedup is checked both against the relative band (like
+    the other speedup benches) and the absolute acceptance floor; the
+    peak-RSS ratio is absolute-only — it is already a same-machine
+    ratio, so a relative band on top would only compound noise.
+    """
+    from benchmarks.bench_sampling import MEMORY_RATIO_LIMIT, SAMPLER_FLOOR
+
+    failures = []
+    speedup = fresh["sampler_speedup"]
+    floor = baseline["sampler_speedup"] * tolerance
+    if speedup < floor:
+        failures.append(
+            f"sampling: sampler speedup {speedup:.2f}x fell below {floor:.2f}x "
+            f"({tolerance:.0%} of committed {baseline['sampler_speedup']:.2f}x)"
+        )
+    if speedup < SAMPLER_FLOOR:
+        failures.append(
+            f"sampling: sampler speedup {speedup:.2f}x is below the "
+            f"{SAMPLER_FLOOR:.1f}x acceptance floor"
+        )
+    ratio = fresh["gcn_peak_ratio_10x"]
+    if ratio > MEMORY_RATIO_LIMIT:
+        failures.append(
+            f"sampling: sampled peak RSS is {ratio:.2f}x of full-batch at 10x "
+            f"scale (budget {MEMORY_RATIO_LIMIT:.2f}x)"
+        )
+    return failures
+
+
+def run_check_sampling(quick: bool = False, tolerance: float = TOLERANCE) -> List[str]:
+    from benchmarks.bench_sampling import run_benchmark as run_sampling_benchmark
+
+    baseline = load_sampling_baseline()
+    fresh = run_sampling_benchmark(quick=quick)
+    print(
+        f"{'sampling':11s} fresh {fresh['sampler_speedup']:5.2f}x  "
+        f"committed {baseline['sampler_speedup']:5.2f}x  "
+        f"(peak RSS ratio {fresh['gcn_peak_ratio_10x']:.2f}, "
+        f"committed {baseline['gcn_peak_ratio_10x']:.2f})"
+    )
+    return compare_sampling(fresh, baseline, tolerance=tolerance)
 
 
 def main(argv=None) -> int:
@@ -203,7 +276,7 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="fewer timing repeats")
     parser.add_argument(
         "--bench",
-        choices=["trainstep", "serving", "obs", "all"],
+        choices=["trainstep", "serving", "obs", "sampling", "all"],
         default="all",
         help="which committed baseline(s) to check (default: all)",
     )
@@ -221,6 +294,8 @@ def main(argv=None) -> int:
         failures += run_check_serving(quick=args.quick, tolerance=args.tolerance)
     if args.bench in ("obs", "all"):
         failures += run_check_obs(quick=args.quick)
+    if args.bench in ("sampling", "all"):
+        failures += run_check_sampling(quick=args.quick, tolerance=args.tolerance)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -250,12 +325,41 @@ def test_obs_overhead_holds_committed_budget():
     assert not failures, failures
 
 
+@pytest.mark.perf
+def test_sampling_holds_committed_baseline():
+    failures = run_check_sampling(quick=True)
+    assert not failures, failures
+
+
+def test_compare_sampling_flags_regressions():
+    baseline = {"sampler_speedup": 11.0, "gcn_peak_ratio_10x": 0.3}
+    ok = {"sampler_speedup": 10.0, "gcn_peak_ratio_10x": 0.32}
+    assert compare_sampling(ok, baseline) == []
+    band = compare_sampling(
+        {"sampler_speedup": 7.0, "gcn_peak_ratio_10x": 0.3}, baseline
+    )
+    assert len(band) == 1 and "75%" in band[0]
+    floor = compare_sampling(
+        {"sampler_speedup": 3.0, "gcn_peak_ratio_10x": 0.3}, baseline
+    )
+    assert len(floor) == 2 and any("acceptance floor" in m for m in floor)
+    memory = compare_sampling(
+        {"sampler_speedup": 11.0, "gcn_peak_ratio_10x": 0.7}, baseline
+    )
+    assert len(memory) == 1 and "peak RSS" in memory[0]
+
+
 def test_compare_obs_flags_overrun():
-    within = {"overhead": 1.02, "enabled_s": 1.02, "disabled_s": 1.0}
+    within = {"overhead": 1.02, "enabled_s": 1.02, "disabled_s": 1.0, "sampled_overhead": 1.01}
     assert compare_obs(within) == []
     over = {"overhead": 1.2, "enabled_s": 1.2, "disabled_s": 1.0}
     messages = compare_obs(over)
     assert len(messages) == 1 and "budget" in messages[0]
+    sampled_over = {
+        "overhead": 1.0, "enabled_s": 1.0, "disabled_s": 1.0, "sampled_overhead": 1.2
+    }
+    messages = compare_obs(sampled_over)
+    assert len(messages) == 1 and "sampled-path" in messages[0]
 
 
 def test_compare_serving_flags_regressions():

@@ -89,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
              "to the legacy op-by-op tape — results are bitwise identical)",
     )
     run.add_argument(
+        "--sampler", choices=["full", "neighbor"], default="full",
+        help="training mode for the GCN/RDD runners: 'full' (paper's "
+             "full-batch) or 'neighbor' (mini-batch neighbor-sampled "
+             "blocks; training memory scales with the batch, not the graph)",
+    )
+    run.add_argument(
+        "--fanouts", type=str, default="10,10", metavar="F1,F2,...",
+        help="comma-separated per-layer fanouts for --sampler neighbor, "
+             "ordered from the output layer inward (default 10,10)",
+    )
+    run.add_argument(
+        "--batch-size", type=int, default=512,
+        help="seed nodes per sampled mini-batch (--sampler neighbor)",
+    )
+    run.add_argument(
         "--checkpoint-dir", type=str, default=None,
         help="persist each completed seed cell here (atomic, checksummed) "
              "so a crashed run can resume from its last completed unit of work",
@@ -325,6 +340,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         dtype=args.dtype,
         fused=args.fused,
+        sampler=args.sampler,
+        fanouts=_parse_fanouts(args.fanouts),
+        batch_size=args.batch_size,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         task_retries=args.task_retries,
@@ -340,6 +358,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         save_report(report, args.out)
         print(f"\nreport written to {args.out}")
     return 0
+
+
+def _parse_fanouts(spec: str) -> tuple:
+    """Parse ``"10,25"`` into ``(10, 25)`` with a friendly error."""
+    try:
+        fanouts = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"error: --fanouts expects comma-separated integers, got {spec!r}")
+    if not fanouts:
+        raise SystemExit(f"error: --fanouts expects at least one fanout, got {spec!r}")
+    return fanouts
 
 
 def _maybe_plot(experiment: str, report) -> None:

@@ -79,6 +79,24 @@ class RDDConfig:
     # tape for every student; None keeps the process default (fused on).
     # The two paths are bitwise identical — see repro.tensor.fused.
     fused: "bool | None" = None
+    # Mini-batch neighbor sampling (repro.sampling / SampledTrainer):
+    # "full" keeps the paper's full-batch training; "neighbor" trains
+    # every student on fanout-sampled blocks so peak memory scales with
+    # batch_size × prod(fanouts) instead of the graph.
+    sampler: str = "full"
+    # Per-layer fanouts, ordered from the output layer inward (the
+    # build_blocks convention).  Only used when sampler="neighbor".
+    fanouts: "tuple[int, ...]" = (10, 10)
+    batch_size: int = 512
+    # Reliability-prioritized sampling (sampler="neighbor" students
+    # t >= 2 only): reliable nodes get double weight both as early-epoch
+    # seeds and as preferred neighbors on over-fanout rows — the "what
+    # you distill from matters" knob unique to RDD.
+    reliability_sampling: bool = True
+    # Full-graph validation forward every N sampled epochs (1 = the
+    # full-batch schedule; larger amortizes the one remaining
+    # graph-sized allocation).  Only used when sampler="neighbor".
+    eval_every: int = 1
 
     def __post_init__(self) -> None:
         if self.num_base_models < 1:
@@ -107,6 +125,17 @@ class RDDConfig:
             raise ConfigError(
                 f"labeled_check must be 'teacher' or 'student', got {self.labeled_check!r}"
             )
+        if self.sampler not in ("full", "neighbor"):
+            raise ConfigError(f"sampler must be 'full' or 'neighbor', got {self.sampler!r}")
+        self.fanouts = tuple(int(f) for f in (
+            (self.fanouts,) if isinstance(self.fanouts, int) else self.fanouts
+        ))
+        if not self.fanouts or any(f < 1 for f in self.fanouts):
+            raise ConfigError(f"fanouts must be a non-empty tuple of ints >= 1, got {self.fanouts}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.eval_every < 1:
+            raise ConfigError(f"eval_every must be >= 1, got {self.eval_every}")
 
     def effective_gamma_initial(self) -> float:
         """γ_initial honoring the "No L2" ablation."""

@@ -98,19 +98,86 @@ def rdd_student_loss(graph: Graph, logits: Tensor, state: RDDLossState) -> Tenso
     return loss
 
 
-def _distill_term(logits: Tensor, state: RDDLossState, k: int) -> Tensor:
-    """The L2 term in the configured formulation (see :data:`DISTILL_MODES`)."""
-    index = state.distill_index
+def sampled_rdd_student_loss(
+    graph: Graph, logits: Tensor, state: RDDLossState, seeds: np.ndarray
+) -> "Tensor | None":
+    """Eq. 10 restricted to a mini-batch of sampled ``seeds``.
+
+    ``logits`` covers only the batch: row ``i`` is global node
+    ``seeds[i]`` (sorted, deduplicated — the block builder's output
+    contract).  Each term keeps its full-batch formulation averaged over
+    the members present in the batch: ``L1`` over the batch's labeled
+    nodes, ``L2`` over the batch's slice of ``V_b``, and ``Lreg`` over
+    the reliable edges with *both* endpoints in the batch (cross-batch
+    edges contribute nothing that epoch — the standard mini-batch
+    compromise).  With one batch covering the whole seed pool every term
+    reduces to its full-batch value exactly.
+
+    Returns ``None`` when no term applies (the trainer skips the batch).
+    """
+    k = logits.shape[1]
+    loss = l1 = l2 = lreg = None
+    local_train = np.flatnonzero(np.isin(seeds, graph.train_index))
+    if local_train.size:
+        l1 = masked_cross_entropy_logits(logits, graph.labels[seeds], local_train)
+        loss = l1
+    if state.gamma > 0.0 and len(state.distill_index):
+        in_batch = np.isin(state.distill_index, seeds)
+        global_index = state.distill_index[in_batch]
+        if global_index.size:
+            local_index = np.searchsorted(seeds, global_index)
+            l2 = _distill_term(logits, state, k, local_index=local_index,
+                               teacher_index=global_index)
+            term = ops.mul(l2, state.gamma)
+            loss = term if loss is None else ops.add(loss, term)
+    if state.beta > 0.0 and len(state.edge_src):
+        src_in = np.isin(state.edge_src, seeds)
+        dst_in = np.isin(state.edge_dst, seeds)
+        both = src_in & dst_in
+        if both.any():
+            local_src = np.searchsorted(seeds, state.edge_src[both])
+            local_dst = np.searchsorted(seeds, state.edge_dst[both])
+            lreg = edge_regularization(logits, local_src, local_dst)
+            term = ops.mul(lreg, state.beta / k)
+            loss = term if loss is None else ops.add(loss, term)
+    if state.record_components:
+        state.components = {
+            "L1": 0.0 if l1 is None else l1.item(),
+            "L2": 0.0 if l2 is None else l2.item(),
+            "Lreg": 0.0 if lreg is None else lreg.item(),
+            "total": 0.0 if loss is None else loss.item(),
+        }
+    return loss
+
+
+def _distill_term(
+    logits: Tensor,
+    state: RDDLossState,
+    k: int,
+    local_index: "np.ndarray | None" = None,
+    teacher_index: "np.ndarray | None" = None,
+) -> Tensor:
+    """The L2 term in the configured formulation (see :data:`DISTILL_MODES`).
+
+    In the full-batch path student rows and teacher rows share one index
+    (``state.distill_index``).  The sampled path passes a ``local_index``
+    into the batch logits plus the matching ``teacher_index`` of global
+    node ids.
+    """
+    if local_index is None:
+        local_index = teacher_index = state.distill_index
     if state.distill_mode == "logit_mse":
-        return ops.mul(embedding_mse(logits, state.teacher_embeddings, index), 1.0 / k)
+        picked = ops.gather(logits, local_index)
+        teacher = np.asarray(state.teacher_embeddings)[teacher_index]
+        return ops.mul(embedding_mse(picked, teacher), 1.0 / k)
     if state.distill_mode == "prob_mse":
-        probs = ops.softmax(ops.gather(logits, index), axis=1)
-        diff = ops.sub(probs, Tensor(state.teacher_probs[index]))
+        probs = ops.softmax(ops.gather(logits, local_index), axis=1)
+        diff = ops.sub(probs, Tensor(state.teacher_probs[teacher_index]))
         return ops.mean(ops.sum(ops.mul(diff, diff), axis=1))
     if state.distill_mode == "kl":
         # Log-softmax after row selection — row-wise, so identical to
         # gathering rows of the full log-softmax.
-        picked = ops.log_softmax(ops.gather(logits, index), axis=1)
-        per_row = -ops.sum(ops.mul(Tensor(state.teacher_probs[index]), picked), axis=1)
+        picked = ops.log_softmax(ops.gather(logits, local_index), axis=1)
+        per_row = -ops.sum(ops.mul(Tensor(state.teacher_probs[teacher_index]), picked), axis=1)
         return ops.mean(per_row)
     raise ValueError(f"unknown distill_mode {state.distill_mode!r}; choose from {DISTILL_MODES}")

@@ -29,7 +29,7 @@ import numpy as np
 import repro.obs as obs
 from repro.core.config import RDDConfig
 from repro.core.ensemble import EnsembleModel, ensemble_weight, uniform_softmax_ensemble
-from repro.core.losses import RDDLossState, rdd_student_loss
+from repro.core.losses import RDDLossState, rdd_student_loss, sampled_rdd_student_loss
 from repro.core.reliability import edge_reliability, node_reliability, teacher_context
 from repro.graph.graph import Graph
 from repro.models.base import GraphModel, softmax_rows
@@ -39,6 +39,7 @@ from repro.tensor.functional import accuracy, entropy
 from repro.testing.faults import fault_point
 from repro.training.checkpoint import CheckpointStore
 from repro.training.records import EnsembleResult, TrainResult
+from repro.training.sampled import SampledTrainer, SamplingPlan
 from repro.training.seed import spawn_rngs
 from repro.training.trainer import Trainer
 
@@ -134,7 +135,7 @@ class RDDTrainer:
         config = self.config
         start = time.perf_counter()
         rngs = spawn_rngs(seed, config.num_base_models)
-        trainer = Trainer(
+        trainer_kwargs = dict(
             max_epochs=config.max_epochs,
             patience=config.patience,
             lr=config.lr,
@@ -143,6 +144,19 @@ class RDDTrainer:
             record_history=config.record_history,
             fused=config.fused,
         )
+        if config.sampler == "neighbor":
+            # Memory-bounded path: every student trains on fanout-sampled
+            # blocks (the sampling streams derive from the run seed, so
+            # resumes stay bit-identical).
+            trainer: Trainer = SampledTrainer(
+                fanouts=config.fanouts,
+                batch_size=config.batch_size,
+                sample_seed=seed,
+                eval_every=config.eval_every,
+                **trainer_kwargs,
+            )
+        else:
+            trainer = Trainer(**trainer_kwargs)
         pagerank = graph.pagerank()
         edge_src, edge_dst = graph.edge_list()
 
@@ -275,6 +289,9 @@ class RDDTrainer:
         state.record_components = obs_on
         student_number = len(teacher) + 1
         diagnostics: dict = {}
+        # Latest reliability mask, consumed by the sampled path's per-epoch
+        # sampling plan (reliability-prioritized seed/neighbor selection).
+        holder: dict = {}
 
         def refresh(epoch: int, student: GraphModel, eval_logits=None) -> None:
             """Per-epoch reliability update (Alg. 3 line 7).
@@ -294,6 +311,7 @@ class RDDTrainer:
                 context=teacher_ctx,
             )
             state.distill_index = sets.distill_index
+            holder["reliable_mask"] = sets.reliable_mask
             student_pred = None
             if beta > 0.0 or obs_on:
                 student_pred = student_probs.argmax(axis=1)
@@ -326,22 +344,89 @@ class RDDTrainer:
                     }
                 )
 
+        def emit_epoch_event(epoch: int) -> None:
+            obs.event(
+                "rdd_epoch",
+                student=student_number,
+                epoch=epoch,
+                L1=state.components["L1"],
+                L2=state.components["L2"],
+                Lreg=state.components["Lreg"],
+                loss=state.components["total"],
+                **diagnostics,
+            )
+
         def loss_fn(student: GraphModel, logits, epoch: int):
             loss = rdd_student_loss(graph, logits, state)
             if obs_on and state.components is not None:
-                obs.event(
-                    "rdd_epoch",
-                    student=student_number,
-                    epoch=epoch,
-                    L1=state.components["L1"],
-                    L2=state.components["L2"],
-                    Lreg=state.components["Lreg"],
-                    loss=state.components["total"],
-                    **diagnostics,
-                )
+                emit_epoch_event(epoch)
             return loss
 
+        if isinstance(trainer, SampledTrainer):
+            return self._fit_student_sampled(
+                trainer, model, graph, state, refresh, holder, emit_epoch_event, obs_on
+            )
         return trainer.fit(model, graph, loss_fn=loss_fn, epoch_callback=refresh)
+
+    def _fit_student_sampled(
+        self,
+        trainer: SampledTrainer,
+        model: GraphModel,
+        graph: Graph,
+        state: RDDLossState,
+        refresh,
+        holder: dict,
+        emit_epoch_event,
+        obs_on: bool,
+    ) -> TrainResult:
+        """Mini-batch variant of the student fit (sampler="neighbor").
+
+        The per-epoch reliability refresh is the very same closure as the
+        full-batch path; what changes is the loss (Eq. 10 restricted to
+        each batch) and the sampling plan: the seed pool is the union of
+        every node the epoch's loss can touch (labeled ∪ V_b ∪ reliable
+        edge endpoints), and with ``reliability_sampling`` the reliable
+        nodes get double weight both as early seeds and as preferred
+        neighbors on over-fanout rows.
+        """
+        config = self.config
+
+        def plan_fn(epoch: int) -> SamplingPlan:
+            parts = [np.asarray(graph.train_index, dtype=np.int64)]
+            if state.gamma > 0.0 and len(state.distill_index):
+                parts.append(state.distill_index)
+            if state.beta > 0.0 and len(state.edge_src):
+                parts.append(state.edge_src)
+                parts.append(state.edge_dst)
+            pool = np.unique(np.concatenate(parts))
+            mask = holder.get("reliable_mask")
+            seed_weights = node_weights = None
+            if config.reliability_sampling and mask is not None:
+                node_weights = 1.0 + mask.astype(np.float64)
+                seed_weights = node_weights[pool]
+            return SamplingPlan(
+                seeds=pool,
+                seed_weights=seed_weights,
+                node_weights=node_weights,
+                reliable_mask=mask,
+            )
+
+        last_emitted = -1
+
+        def loss_fn(student: GraphModel, logits, seeds: np.ndarray, epoch: int):
+            nonlocal last_emitted
+            loss = sampled_rdd_student_loss(graph, logits, state, seeds)
+            # One rdd_epoch event per epoch (first batch) keeps the obs
+            # report's reliability trajectory one point per epoch, as in
+            # the full-batch path.
+            if obs_on and state.components is not None and epoch != last_emitted:
+                last_emitted = epoch
+                emit_epoch_event(epoch)
+            return loss
+
+        return trainer.fit(
+            model, graph, loss_fn=loss_fn, epoch_callback=refresh, plan_fn=plan_fn
+        )
 
 
 def train_rdd(graph: Graph, config: Optional[RDDConfig] = None, seed: int = 0) -> RDDResult:

@@ -29,6 +29,7 @@ from repro.testing.faults import fault_point
 from repro.training.checkpoint import CheckpointStore
 from repro.training.parallel import get_shared, parallel_map
 from repro.training.records import EnsembleResult, TrainResult
+from repro.training.sampled import SampledTrainer
 from repro.training.seed import make_rng
 from repro.training.trainer import Trainer
 
@@ -106,9 +107,35 @@ class HarnessConfig:
     retry_backoff: float = 0.05
     task_timeout: Optional[float] = None
     obs_dir: Optional[str] = None
+    # Mini-batch neighbor sampling: "full" (default) keeps full-batch
+    # training everywhere; "neighbor" switches the GCN/RDD runners to
+    # fanout-sampled mini-batches (repro.training.sampled) so training
+    # memory scales with batch_size × prod(fanouts), not graph size.
+    sampler: str = "full"
+    fanouts: Sequence[int] = (10, 10)
+    batch_size: int = 512
+    eval_every: int = 1
 
     def trainer(self) -> Trainer:
+        """The full-batch trainer (used by every harness regardless of
+        ``sampler`` — baselines that drive arbitrary models stay on the
+        full-batch path; GCN/RDD runners switch via :meth:`sampled_trainer`)."""
         return Trainer(
+            max_epochs=self.max_epochs,
+            patience=self.patience,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            share_eval_forward=self.share_eval_forward,
+            fused=self.fused,
+        )
+
+    def sampled_trainer(self, sample_seed: int = 0) -> SampledTrainer:
+        """A neighbor-sampled trainer matching this budget."""
+        return SampledTrainer(
+            fanouts=tuple(self.fanouts),
+            batch_size=self.batch_size,
+            sample_seed=sample_seed,
+            eval_every=self.eval_every,
             max_epochs=self.max_epochs,
             patience=self.patience,
             lr=self.lr,
@@ -128,6 +155,10 @@ class HarnessConfig:
             weight_decay=self.weight_decay,
             share_eval_forward=self.share_eval_forward,
             fused=self.fused,
+            sampler=self.sampler,
+            fanouts=tuple(self.fanouts),
+            batch_size=self.batch_size,
+            eval_every=self.eval_every,
         )
         base.update(overrides)
         return RDDConfig(**base)
@@ -143,7 +174,7 @@ class HarnessConfig:
         change results.  Execution knobs (workers, retries, checkpoint
         location) are deliberately excluded — a run may resume with a
         different worker count and still be the same experiment."""
-        return {
+        fingerprint = {
             "scale": self.scale,
             "seeds": tuple(self.seeds),
             "num_base_models": self.num_base_models,
@@ -156,6 +187,15 @@ class HarnessConfig:
             "dtype": self.dtype,
             "share_eval_forward": self.share_eval_forward,
         }
+        if self.sampler != "full":
+            # Sampling changes results, so it is part of the scientific
+            # identity; full-batch keys stay unchanged so pre-existing
+            # checkpoints remain resumable.
+            fingerprint["sampler"] = self.sampler
+            fingerprint["fanouts"] = tuple(self.fanouts)
+            fingerprint["batch_size"] = self.batch_size
+            fingerprint["eval_every"] = self.eval_every
+        return fingerprint
 
 
 @dataclass
@@ -204,6 +244,8 @@ def run_single_gcn(graph: Graph, config: HarnessConfig, seed: int, num_layers: i
         num_layers=num_layers,
         dropout=config.dropout,
     )
+    if config.sampler == "neighbor":
+        return config.sampled_trainer(sample_seed=seed).fit(model, graph)
     return config.trainer().fit(model, graph)
 
 

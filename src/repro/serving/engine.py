@@ -37,6 +37,7 @@ from repro.errors import ReproError
 from repro.graph.graph import Graph
 from repro.graph.subgraph import induced_subgraph
 from repro.models.base import softmax_rows
+from repro.sampling import layerwise_neighborhood
 from repro.serving.artifacts import ModelArtifact, load_artifact
 
 NodeIds = Sequence[int]
@@ -245,27 +246,16 @@ class PredictionEngine:
         therefore the prediction — is a pure function of the query.
         """
         rng = np.random.default_rng((self.seed, int.from_bytes(key[:8], "big")))
-        adjacency = self.graph.adjacency
-        context = set(int(n) for n in neighbors)
-        frontier = neighbors
-        for _ in range(self._num_hops):
-            nxt = set()
-            for node in frontier:
-                row = adjacency.indices[adjacency.indptr[node] : adjacency.indptr[node + 1]]
-                if len(row) > self.fanout:
-                    row = rng.choice(row, size=self.fanout, replace=False)
-                nxt.update(int(n) for n in row)
-            frontier = np.fromiter(nxt - context, dtype=np.int64, count=len(nxt - context))
-            context.update(nxt)
-            if frontier.size == 0:
-                break
-        if len(context) < 2:
+        context = layerwise_neighborhood(
+            self.graph.adjacency, neighbors, self.fanout, self._num_hops, rng
+        )
+        if context.size < 2:
             # A single isolated attachment point: induced_subgraph needs
             # two nodes, so pull in a deterministic partner (mirroring
             # its own isolated-node patch rule).
-            only = next(iter(context))
-            context.add((only + 1) % self.graph.num_nodes)
-        return np.fromiter(context, dtype=np.int64, count=len(context))
+            partner = (int(context[0]) + 1) % self.graph.num_nodes
+            context = np.union1d(context, [partner])
+        return context
 
 
 def _attach_query_node(
