@@ -12,7 +12,10 @@ Three benches are guarded, each against its committed baseline JSON:
   the full-batch and the neighbor-sampled training loop;
 * **sampling** (``BENCH_sampling.json``) — vectorized CSR sampler
   speedup over the per-node loop, and the sampled-vs-full-batch peak
-  RSS ratio at 10x graph scale.
+  RSS ratio at 10x graph scale;
+* **streaming** (``BENCH_streaming.json``) — k-hop invalidation
+  (apply-delta + closure refresh) speedup over a from-scratch Â
+  normalize + full-table rebuild at small delta rates.
 
 Absolute times are machine-dependent, so only the *ratios* are compared:
 a fresh speedup may drift down to ``TOLERANCE`` (default 0.75) times the
@@ -20,8 +23,9 @@ committed value before the check fails.  Each bench also keeps an
 absolute acceptance bound regardless of the baseline: 1.5x for the
 trainstep headline (deep taped regime), 2.0x for the serving
 batched/unbatched ratio, at most 1.05x enabled-vs-disabled wall time
-for obs, and for sampling at least 5x sampler speedup with the sampled
-peak RSS at most half of full-batch.
+for obs, for sampling at least 5x sampler speedup with the sampled
+peak RSS at most half of full-batch, and for streaming at least 5x
+incremental-over-full refresh speedup.
 
 Usage::
 
@@ -55,6 +59,7 @@ BASELINE_PATH = REPO_ROOT / "BENCH_trainstep.json"
 SERVING_BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
 OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
 SAMPLING_BASELINE_PATH = REPO_ROOT / "BENCH_sampling.json"
+STREAMING_BASELINE_PATH = REPO_ROOT / "BENCH_streaming.json"
 
 # A fresh speedup may drop to this fraction of the committed one before
 # the check fails — wide enough for cross-machine and scheduler noise,
@@ -271,12 +276,66 @@ def run_check_sampling(quick: bool = False, tolerance: float = TOLERANCE) -> Lis
     return compare_sampling(fresh, baseline, tolerance=tolerance)
 
 
+# ----------------------------------------------------------------------
+# Streaming deltas (BENCH_streaming.json)
+# ----------------------------------------------------------------------
+def load_streaming_baseline(path: Path = STREAMING_BASELINE_PATH) -> Dict[str, object]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed baseline at {path}; run scripts/bench_streaming.py first"
+        )
+    return json.loads(path.read_text())
+
+
+def compare_streaming(
+    fresh: Dict[str, object], baseline: Dict[str, object], tolerance: float = TOLERANCE
+) -> List[str]:
+    """Regression messages for the streaming bench (empty when it holds).
+
+    Only the invalidation speedup is gated (relative band + absolute
+    floor).  The freshness scenario's latencies are load-dependent
+    wall-clock numbers — recorded in the JSON for inspection, not
+    checked here.
+    """
+    from benchmarks.bench_streaming import SPEEDUP_FLOOR
+
+    failures = []
+    speedup = fresh["invalidation_speedup"]
+    floor = baseline["invalidation_speedup"] * tolerance
+    if speedup < floor:
+        failures.append(
+            f"streaming: invalidation speedup {speedup:.2f}x fell below {floor:.2f}x "
+            f"({tolerance:.0%} of committed {baseline['invalidation_speedup']:.2f}x)"
+        )
+    if speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"streaming: invalidation speedup {speedup:.2f}x is below the "
+            f"{SPEEDUP_FLOOR:.1f}x acceptance floor"
+        )
+    return failures
+
+
+def run_check_streaming(quick: bool = False, tolerance: float = TOLERANCE) -> List[str]:
+    from benchmarks.bench_streaming import invalidation_speedup
+
+    baseline = load_streaming_baseline()
+    invalidation = invalidation_speedup(quick=quick)
+    fresh = {"invalidation_speedup": invalidation["speedup"]}
+    print(
+        f"{'streaming':11s} fresh {invalidation['speedup']:5.2f}x  "
+        f"committed {baseline['invalidation_speedup']:5.2f}x  "
+        f"(mean closure {invalidation['mean_rows_refreshed']:.0f} of "
+        f"{invalidation['nodes']} rows)"
+    )
+    return compare_streaming(fresh, baseline, tolerance=tolerance)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="fewer timing repeats")
     parser.add_argument(
         "--bench",
-        choices=["trainstep", "serving", "obs", "sampling", "all"],
+        choices=["trainstep", "serving", "obs", "sampling", "streaming", "all"],
         default="all",
         help="which committed baseline(s) to check (default: all)",
     )
@@ -296,6 +355,8 @@ def main(argv=None) -> int:
         failures += run_check_obs(quick=args.quick)
     if args.bench in ("sampling", "all"):
         failures += run_check_sampling(quick=args.quick, tolerance=args.tolerance)
+    if args.bench in ("streaming", "all"):
+        failures += run_check_streaming(quick=args.quick, tolerance=args.tolerance)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -329,6 +390,21 @@ def test_obs_overhead_holds_committed_budget():
 def test_sampling_holds_committed_baseline():
     failures = run_check_sampling(quick=True)
     assert not failures, failures
+
+
+@pytest.mark.perf
+def test_streaming_holds_committed_baseline():
+    failures = run_check_streaming(quick=True)
+    assert not failures, failures
+
+
+def test_compare_streaming_flags_regressions():
+    baseline = {"invalidation_speedup": 8.0}
+    assert compare_streaming({"invalidation_speedup": 7.0}, baseline) == []
+    band = compare_streaming({"invalidation_speedup": 5.5}, baseline)
+    assert len(band) == 1 and "75%" in band[0]
+    floor = compare_streaming({"invalidation_speedup": 3.0}, baseline)
+    assert len(floor) == 2 and any("acceptance floor" in m for m in floor)
 
 
 def test_compare_sampling_flags_regressions():

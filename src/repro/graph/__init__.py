@@ -1,6 +1,7 @@
 """Graph substrate: containers, normalizations, PageRank, stats, walks."""
 
 from repro.graph.graph import Graph, build_adjacency
+from repro.graph.delta import DeltaLog, GraphDelta, apply_delta, k_hop_rows
 from repro.graph.normalize import (
     add_self_loops,
     gcn_normalize,
@@ -16,6 +17,10 @@ from repro.graph.walks import batch_random_walks, random_walk, sample_walks, wal
 __all__ = [
     "Graph",
     "build_adjacency",
+    "GraphDelta",
+    "DeltaLog",
+    "apply_delta",
+    "k_hop_rows",
     "gcn_normalize",
     "row_normalize",
     "row_normalize_features",

@@ -83,6 +83,38 @@ class Graph:
         self._edges: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._pagerank: Optional[np.ndarray] = None
 
+    @classmethod
+    def _unchecked(
+        cls,
+        adjacency: sp.csr_matrix,
+        features: Features,
+        labels: np.ndarray,
+        train_index: np.ndarray,
+        val_index: np.ndarray,
+        test_index: np.ndarray,
+        name: str = "graph",
+    ) -> "Graph":
+        """Assemble a Graph from already-canonical parts, skipping validation.
+
+        For internal producers (``apply_delta``) whose outputs are
+        canonical by construction: ``adjacency`` must be CSR with sorted
+        indices, symmetric, zero-diagonal; sparse ``features`` must be
+        CSR with sorted indices.  Revalidating would cost O(nnz) per
+        delta — the very thing incremental updates avoid.
+        """
+        graph = cls.__new__(cls)
+        graph.adjacency = adjacency
+        graph.features = features
+        graph.labels = labels
+        graph.train_index = train_index
+        graph.val_index = val_index
+        graph.test_index = test_index
+        graph.name = name
+        graph._normalized = None
+        graph._edges = None
+        graph._pagerank = None
+        return graph
+
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------

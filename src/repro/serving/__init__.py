@@ -28,6 +28,7 @@ from repro.serving.artifacts import (
 )
 from repro.serving.batching import BatcherClosed, MicroBatcher
 from repro.serving.engine import PredictionEngine, ServingError
+from repro.serving.refresh import BackgroundRefresher, RowRefresher
 from repro.serving.metrics import (
     MetricRegistry,
     ServingMetrics,
@@ -38,7 +39,9 @@ from repro.serving.server import PredictionServer
 
 __all__ = [
     "ArtifactError",
+    "BackgroundRefresher",
     "BatcherClosed",
+    "RowRefresher",
     "MetricRegistry",
     "MicroBatcher",
     "ModelArtifact",

@@ -21,24 +21,46 @@ no sockets, no queues, just "artifact + graph in, logits out":
 Both paths run under ``no_grad`` and are deterministic: the same query
 against the same artifact returns bitwise-identical logits, which is the
 contract the micro-batcher's "batched == unbatched" guarantee rests on.
+
+**Streaming mode** (``streaming=True``, single-model GCN artifacts only)
+makes the engine delta-aware: :meth:`PredictionEngine.apply_delta`
+installs an updated graph (CSR and cached ``Â`` maintained incrementally
+by :func:`repro.graph.delta.apply_delta`), bumps a monotonic graph
+version, and marks stale exactly the logits rows within the model's
+receptive field — the k-hop closure of the dirty nodes, k = the layer
+count — of everything edited since the table was last consistent.
+Stale rows are recomputed lazily (the first query touching one triggers
+a refresh) or eagerly by a
+:class:`~repro.serving.refresh.BackgroundRefresher`.  The table itself
+is maintained by the row-pure :class:`~repro.serving.refresh.RowRefresher`
+forward, so a refreshed table is bitwise identical to a from-scratch
+streaming rebuild on the updated graph.  All public query and delta
+entry points serialize on one reentrant lock; the inductive LRU key
+includes the graph version, so a pre-delta neighborhood can never be
+served after the graph changed.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+import repro.obs as obs
 from repro.errors import ReproError
+from repro.graph.delta import GraphDelta, apply_delta, k_hop_rows
 from repro.graph.graph import Graph
 from repro.graph.subgraph import induced_subgraph
 from repro.models.base import softmax_rows
+from repro.obs.metrics import MetricRegistry
 from repro.sampling import layerwise_neighborhood
-from repro.serving.artifacts import ModelArtifact, load_artifact
+from repro.serving.artifacts import ModelArtifact, graph_fingerprint, load_artifact
+from repro.serving.refresh import RowRefresher
 
 NodeIds = Sequence[int]
 
@@ -73,6 +95,13 @@ class PredictionEngine:
         Entries kept in the inductive LRU (0 disables memoization).
     seed:
         Base seed for the deterministic per-query neighbor sampling.
+    streaming:
+        Accept :meth:`apply_delta` and maintain the logits table
+        incrementally (single-model GCN artifacts with
+        ``cache_logits=True`` only).  The table is then computed by the
+        row-pure streaming forward, which can differ from the static
+        table in the last ulp — compare streaming engines with streaming
+        engines.
     """
 
     def __init__(
@@ -86,6 +115,7 @@ class PredictionEngine:
         num_hops: Optional[int] = None,
         inductive_cache_size: int = 128,
         seed: int = 0,
+        streaming: bool = False,
     ):
         if not isinstance(artifact, ModelArtifact):
             artifact = load_artifact(artifact)
@@ -93,9 +123,15 @@ class PredictionEngine:
         graph = graph.astype(artifact.dtype)
         if verify_graph:
             artifact.check_graph(graph)
-        if graph._normalized is None:
+        if graph._normalized is None and (
+            graph_fingerprint(graph)["structure_sha256"]
+            == artifact.graph_fingerprint["structure_sha256"]
+        ):
             # The artifact ships the propagation matrix; installing it
-            # skips the normalization pass in the serving process.
+            # skips the normalization pass in the serving process.  Only
+            # when the structures match — an engine built on an *updated*
+            # graph (post-delta rebuild parity checks) must normalize its
+            # own adjacency, not inherit the training graph's.
             graph._normalized = artifact.normalized_adjacency(dtype=artifact.dtype)
         self.graph = graph
         self.cache_logits = cache_logits
@@ -114,6 +150,28 @@ class PredictionEngine:
             self._ensemble = None
             self._member_models = None
         self._num_hops = int(num_hops) if num_hops is not None else self._infer_hops()
+
+        self.streaming = bool(streaming)
+        self.metrics = MetricRegistry()
+        self._version = 0
+        self._lock = threading.RLock()
+        self._delta_listeners: List[Callable[[int], None]] = []
+        self._refresher: Optional[RowRefresher] = None
+        self._stale: Optional[np.ndarray] = None
+        self._base_adjacency: Optional[sp.csr_matrix] = None
+        self._pending_dirty = np.empty(0, dtype=np.int64)
+        if self.streaming:
+            if artifact.is_ensemble or artifact.spec is None or artifact.spec.kind != "gcn":
+                raise ServingError(
+                    f"streaming mode needs a single-model GCN artifact, "
+                    f"got {self.model_kind!r}"
+                )
+            if not cache_logits:
+                raise ServingError("streaming mode maintains the logits table; "
+                                   "it requires cache_logits=True")
+            self._refresher = RowRefresher(self._model, artifact.dtype)
+            self._stale = np.zeros(graph.num_nodes, dtype=bool)
+            self._base_adjacency = graph.adjacency
 
     # ------------------------------------------------------------------
     # Introspection (for /healthz)
@@ -141,10 +199,110 @@ class PredictionEngine:
         return 2
 
     # ------------------------------------------------------------------
+    # Streaming: graph deltas, versioning, refresh
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic graph version (0 at construction, +1 per delta)."""
+        return self._version
+
+    def add_delta_listener(self, listener: Callable[[int], None]) -> None:
+        """Register ``listener(version)`` to run after every applied delta
+        (outside the engine lock)."""
+        self._delta_listeners.append(listener)
+
+    def remove_delta_listener(self, listener: Callable[[int], None]) -> None:
+        if listener in self._delta_listeners:
+            self._delta_listeners.remove(listener)
+
+    def apply_delta(self, delta: GraphDelta) -> int:
+        """Install a graph delta; returns the new graph version.
+
+        The updated graph (incrementally-maintained ``Â`` included)
+        replaces :attr:`graph` atomically under the engine lock, and the
+        rows of the logits table within the model's receptive field of
+        *everything* edited since the last refresh are marked stale.
+        Nothing is recomputed here — that happens lazily on the next
+        query touching a stale row, or eagerly in a
+        :class:`~repro.serving.refresh.BackgroundRefresher` cycle.
+        """
+        if not self.streaming:
+            raise ServingError(
+                "apply_delta on a static engine; construct with streaming=True"
+            )
+        with self._lock:
+            with obs.span("serving:apply_delta", version=self._version + 1):
+                dirty = delta.dirty_nodes(self.graph.num_nodes)
+                updated = apply_delta(self.graph, delta)
+                self.graph = updated
+                self._version += 1
+                self._pending_dirty = np.union1d(self._pending_dirty, dirty)
+                stale_rows = k_hop_rows(
+                    [self._base_adjacency, updated.adjacency],
+                    self._pending_dirty,
+                    self._refresher.num_layers,
+                )
+                stale = np.zeros(updated.num_nodes, dtype=bool)
+                stale[stale_rows] = True
+                self._stale = stale
+                self.metrics.inc("deltas_total")
+                self.metrics.inc("rows_invalidated_total", int(stale.sum()))
+                version = self._version
+        for listener in list(self._delta_listeners):
+            listener(version)
+        return version
+
+    def refresh(self) -> int:
+        """Bring every stale logits row up to date; returns rows recomputed.
+
+        After this the table matches, bitwise, what a fresh streaming
+        engine on the current graph would compute, and the engine's
+        "last consistent" baseline advances to the current graph.
+        """
+        if not self.streaming:
+            raise ServingError("refresh on a static engine; construct with streaming=True")
+        with self._lock:
+            graph = self.graph
+            if self._refresher.table is None:
+                self._table = self._refresher.rebuild(graph)
+                refreshed = graph.num_nodes
+            elif self._stale.any():
+                hops = self._refresher.num_layers
+                closures = [
+                    k_hop_rows(
+                        [self._base_adjacency, graph.adjacency], self._pending_dirty, l
+                    )
+                    for l in range(hops + 1)
+                ]
+                refreshed = self._refresher.refresh(graph, closures)
+                self._table = self._refresher.table
+                self.metrics.inc("rows_refreshed_total", refreshed)
+            else:
+                return 0
+            self._base_adjacency = graph.adjacency
+            self._pending_dirty = np.empty(0, dtype=np.int64)
+            self._stale = np.zeros(graph.num_nodes, dtype=bool)
+            return refreshed
+
+    def _ensure_fresh(self, nodes: Optional[np.ndarray]) -> None:
+        """Lazy-refresh guard (call with the lock held): refresh if the
+        table is missing or any requested row is stale.  Queries that
+        touch only clean rows cost a mask lookup and nothing else."""
+        if self._refresher.table is None:
+            self.refresh()
+        elif self._stale.any() and (nodes is None or self._stale[nodes].any()):
+            self.metrics.inc("stale_row_hits_total")
+            self.refresh()
+
+    # ------------------------------------------------------------------
     # Transductive path
     # ------------------------------------------------------------------
     def logits_table(self) -> np.ndarray:
         """Per-node logits over the whole serving graph (cached)."""
+        if self.streaming:
+            with self._lock:
+                self._ensure_fresh(None)
+                return self._table
         if self._table is not None:
             return self._table
         if self._ensemble is not None:
@@ -168,7 +326,23 @@ class PredictionEngine:
 
     def predict_nodes(self, node_ids: NodeIds) -> np.ndarray:
         """Logits rows for known nodes, shape ``(len(node_ids), k)``."""
+        if self.streaming:
+            return self.predict_nodes_versioned(node_ids)[0]
         return self.logits_table()[self._check_nodes(node_ids)]
+
+    def predict_nodes_versioned(self, node_ids: NodeIds) -> Tuple[np.ndarray, int]:
+        """Like :meth:`predict_nodes`, plus the graph version answered at.
+
+        The rows and the version are read under one lock hold, so the
+        pair is consistent even while deltas land concurrently — the
+        attribution guarantee the chaos tests check.
+        """
+        with self._lock:
+            nodes = self._check_nodes(node_ids)
+            if self.streaming:
+                self._ensure_fresh(nodes)
+                return self._table[nodes], self._version
+            return self.logits_table()[nodes], self._version
 
     def predict_many(self, requests: Sequence[NodeIds]) -> List[np.ndarray]:
         """Answer several node-id requests off **one** shared table.
@@ -178,9 +352,20 @@ class PredictionEngine:
         happens up front so one malformed request cannot waste the
         batch's forward.
         """
-        checked = [self._check_nodes(request) for request in requests]
-        table = self.logits_table()
-        return [table[nodes] for nodes in checked]
+        return self.predict_many_versioned(requests)[0]
+
+    def predict_many_versioned(
+        self, requests: Sequence[NodeIds]
+    ) -> Tuple[List[np.ndarray], int]:
+        """Batched :meth:`predict_nodes_versioned`: one table, one version."""
+        with self._lock:
+            checked = [self._check_nodes(request) for request in requests]
+            if self.streaming:
+                self._ensure_fresh(np.concatenate(checked) if checked else None)
+                table = self._table
+            else:
+                table = self.logits_table()
+            return [table[nodes] for nodes in checked], self._version
 
     def predict_proba_nodes(self, node_ids: NodeIds) -> np.ndarray:
         return softmax_rows(self.predict_nodes(node_ids))
@@ -196,42 +381,49 @@ class PredictionEngine:
         engine seed: the neighbor sampling RNG is derived from the query
         content, so the same query always sees the same subgraph.
         """
-        features = np.asarray(features, dtype=self.artifact.dtype)
-        if features.shape != (self.graph.num_features,):
-            raise ServingError(
-                f"features must have shape ({self.graph.num_features},), got {features.shape}"
-            )
-        neighbors = np.unique(self._check_nodes(neighbor_ids))
+        with self._lock:
+            graph = self.graph
+            features = np.asarray(features, dtype=self.artifact.dtype)
+            if features.shape != (graph.num_features,):
+                raise ServingError(
+                    f"features must have shape ({graph.num_features},), got {features.shape}"
+                )
+            neighbors = np.unique(self._check_nodes(neighbor_ids))
 
-        key = self._inductive_key(features, neighbors)
-        cached = self._inductive_cache.get(key)
-        if cached is not None:
-            self._inductive_cache.move_to_end(key)
-            return cached
+            key = self._inductive_key(features, neighbors)
+            cached = self._inductive_cache.get(key)
+            if cached is not None:
+                self._inductive_cache.move_to_end(key)
+                return cached
 
-        logits = self._run_inductive(features, neighbors, key)
-        if self._inductive_cache_size > 0:
-            self._inductive_cache[key] = logits
-            while len(self._inductive_cache) > self._inductive_cache_size:
-                self._inductive_cache.popitem(last=False)
-        return logits
+            logits = self._run_inductive(graph, features, neighbors, key)
+            if self._inductive_cache_size > 0:
+                self._inductive_cache[key] = logits
+                while len(self._inductive_cache) > self._inductive_cache_size:
+                    self._inductive_cache.popitem(last=False)
+            return logits
 
     def _inductive_key(self, features: np.ndarray, neighbors: np.ndarray) -> bytes:
         digest = hashlib.sha256()
+        # The graph version participates in the key: an entry computed
+        # against a pre-delta neighborhood must never satisfy the same
+        # query after the graph changed (static engines stay at 0, so
+        # their keys are unchanged).
+        digest.update(np.int64(self._version).tobytes())
         digest.update(features.tobytes())
         digest.update(neighbors.tobytes())
         return digest.digest()
 
-    def _run_inductive(self, features, neighbors, key: bytes) -> np.ndarray:
-        context = self._sample_context(neighbors, key)
-        subgraph, mapping = induced_subgraph(self.graph, context, name="query")
+    def _run_inductive(self, graph: Graph, features, neighbors, key: bytes) -> np.ndarray:
+        context = self._sample_context(graph, neighbors, key)
+        subgraph, mapping = induced_subgraph(graph, context, name="query")
         query_graph = _attach_query_node(subgraph, mapping, neighbors, features)
         # Cast so the query forward runs at the artifact's dtype end to end
         # (the fresh subgraph would otherwise normalize Â at float64).
         query_graph = query_graph.astype(self.artifact.dtype)
         if self._ensemble is not None:
             if self._member_models is None:
-                self._member_models = self.artifact.member_models(self.graph)
+                self._member_models = self.artifact.member_models(graph)
             weights = self._ensemble.weights
             rows = np.stack(
                 [model.predict_logits(query_graph)[-1] for model in self._member_models]
@@ -239,21 +431,23 @@ class PredictionEngine:
             return np.einsum("t,tk->k", weights.astype(rows.dtype, copy=False), rows)
         return self._model.predict_logits(query_graph)[-1]
 
-    def _sample_context(self, neighbors: np.ndarray, key: bytes) -> np.ndarray:
+    def _sample_context(self, graph: Graph, neighbors: np.ndarray, key: bytes) -> np.ndarray:
         """Layer-wise sampled neighborhood of the attachment points.
 
         Seeded from ``(engine seed, query digest)`` so the subgraph — and
-        therefore the prediction — is a pure function of the query.
+        therefore the prediction — is a pure function of the query (the
+        digest already folds in the graph version, so post-delta queries
+        resample against the updated structure).
         """
         rng = np.random.default_rng((self.seed, int.from_bytes(key[:8], "big")))
         context = layerwise_neighborhood(
-            self.graph.adjacency, neighbors, self.fanout, self._num_hops, rng
+            graph.adjacency, neighbors, self.fanout, self._num_hops, rng
         )
         if context.size < 2:
             # A single isolated attachment point: induced_subgraph needs
             # two nodes, so pull in a deterministic partner (mirroring
             # its own isolated-node patch rule).
-            partner = (int(context[0]) + 1) % self.graph.num_nodes
+            partner = (int(context[0]) + 1) % graph.num_nodes
             context = np.union1d(context, [partner])
         return context
 

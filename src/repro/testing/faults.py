@@ -30,6 +30,10 @@ Registered sites (``site`` → where it fires):
                       (``key`` = request arrival sequence number); the
                       batching loop survives the failure, only that
                       request's future errors
+``serving:refresh``   top of each :class:`BackgroundRefresher` cycle
+                      (``key`` = cycle index); a failed cycle is counted
+                      and swallowed — the engine degrades to lazy
+                      refresh until the next cycle
 ====================  ====================================================
 
 Plans are plain Python state in the parent process.  Fork-spawned
