@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Run the robustness benchmark and write ``BENCH_robustness.json``.
+
+Thin launcher for :mod:`benchmarks.bench_robustness` (kept under
+``scripts/`` next to the other bench entry points)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.bench_robustness import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Guard against performance regressions in the committed benchmarks.
 
-Three benches are guarded, each against its committed baseline JSON:
+Six benches are guarded, each against its committed baseline JSON:
 
 * **trainstep** (``BENCH_trainstep.json``) — fused-kernel vs legacy-tape
   train-step speedups;
@@ -15,7 +15,10 @@ Three benches are guarded, each against its committed baseline JSON:
   RSS ratio at 10x graph scale;
 * **streaming** (``BENCH_streaming.json``) — k-hop invalidation
   (apply-delta + closure refresh) speedup over a from-scratch Â
-  normalize + full-table rebuild at small delta rates.
+  normalize + full-table rebuild at small delta rates;
+* **robustness** (``BENCH_robustness.json``) — the defense margin:
+  RDD's accuracy-under-attack minus plain GCN's and minus
+  reliability-free distillation's on the same dice-poisoned graphs.
 
 Absolute times are machine-dependent, so only the *ratios* are compared:
 a fresh speedup may drift down to ``TOLERANCE`` (default 0.75) times the
@@ -25,7 +28,10 @@ trainstep headline (deep taped regime), 2.0x for the serving
 batched/unbatched ratio, at most 1.05x enabled-vs-disabled wall time
 for obs, for sampling at least 5x sampler speedup with the sampled
 peak RSS at most half of full-batch, and for streaming at least 5x
-incremental-over-full refresh speedup.
+incremental-over-full refresh speedup.  The robustness margins are
+accuracy *differences* near zero, so (like obs) they are absolute-only:
+RDD must beat GCN by the committed floor and must not trail
+reliability-free distillation.
 
 Usage::
 
@@ -60,6 +66,7 @@ SERVING_BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
 OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
 SAMPLING_BASELINE_PATH = REPO_ROOT / "BENCH_sampling.json"
 STREAMING_BASELINE_PATH = REPO_ROOT / "BENCH_streaming.json"
+ROBUSTNESS_BASELINE_PATH = REPO_ROOT / "BENCH_robustness.json"
 
 # A fresh speedup may drop to this fraction of the committed one before
 # the check fails — wide enough for cross-machine and scheduler noise,
@@ -207,14 +214,25 @@ def run_check_obs(quick: bool = False) -> List[str]:
     from benchmarks.bench_obs import run_benchmark as run_obs_benchmark
 
     baseline = load_obs_baseline()
-    fresh = run_obs_benchmark(quick=quick)
-    print(
-        f"{'obs':11s} fresh {fresh['overhead']:5.3f}x  "
-        f"committed {baseline['overhead']:5.3f}x  "
-        f"(enabled {fresh['enabled_s']:.2f}s, disabled {fresh['disabled_s']:.2f}s, "
-        f"sampled {fresh['sampled_overhead']:5.3f}x)"
-    )
-    return compare_obs(fresh)
+    # The overhead budget sits a few percent above 1.0, within scheduler
+    # noise on a loaded single-core box, so a one-sided timing blip can
+    # trip it.  Retry once on failure: genuine regressions (tracing cost
+    # actually grew) fail both measurements.
+    failures: List[str] = []
+    for attempt in range(2):
+        fresh = run_obs_benchmark(quick=quick)
+        print(
+            f"{'obs':11s} fresh {fresh['overhead']:5.3f}x  "
+            f"committed {baseline['overhead']:5.3f}x  "
+            f"(enabled {fresh['enabled_s']:.2f}s, disabled {fresh['disabled_s']:.2f}s, "
+            f"sampled {fresh['sampled_overhead']:5.3f}x)"
+        )
+        failures = compare_obs(fresh)
+        if not failures:
+            break
+        if attempt == 0:
+            print("obs         overhead over budget; retrying once (timing noise)")
+    return failures
 
 
 # ----------------------------------------------------------------------
@@ -330,12 +348,69 @@ def run_check_streaming(quick: bool = False, tolerance: float = TOLERANCE) -> Li
     return compare_streaming(fresh, baseline, tolerance=tolerance)
 
 
+# ----------------------------------------------------------------------
+# Robustness defense margin (BENCH_robustness.json)
+# ----------------------------------------------------------------------
+def load_robustness_baseline(path: Path = ROBUSTNESS_BASELINE_PATH) -> Dict[str, object]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed baseline at {path}; run scripts/bench_robustness.py first"
+        )
+    return json.loads(path.read_text())
+
+
+def compare_robustness(fresh: Dict[str, object]) -> List[str]:
+    """Regression messages for the robustness bench (empty when it holds).
+
+    The gated quantities are accuracy *margins* near zero (rdd - gcn and
+    rdd - kd on the same poisoned graphs), so — as with the obs overhead
+    ratio — a relative band against the committed value would be all
+    noise; only the absolute floors are enforced.  Attack-generation
+    throughput is recorded in the JSON for inspection, not checked.
+    """
+    from benchmarks.bench_robustness import GCN_MARGIN_FLOOR, KD_MARGIN_FLOOR
+
+    failures = []
+    vs_gcn = fresh["defense_margin_vs_gcn"]
+    if vs_gcn < GCN_MARGIN_FLOOR:
+        failures.append(
+            f"robustness: rdd beat gcn under attack by only {vs_gcn:+.3f} "
+            f"(needs >= {GCN_MARGIN_FLOOR:+.3f})"
+        )
+    vs_kd = fresh["defense_margin_vs_kd"]
+    if vs_kd < KD_MARGIN_FLOOR:
+        failures.append(
+            f"robustness: rdd trailed reliability-free distillation under "
+            f"attack by {vs_kd:+.3f} (needs >= {KD_MARGIN_FLOOR:+.3f})"
+        )
+    return failures
+
+
+def run_check_robustness(quick: bool = False) -> List[str]:
+    from benchmarks.bench_robustness import defense_sweep
+
+    baseline = load_robustness_baseline()
+    defense = defense_sweep(quick=quick)
+    fresh = {
+        "defense_margin_vs_gcn": defense["margin_vs_gcn"],
+        "defense_margin_vs_kd": defense["margin_vs_kd"],
+    }
+    print(
+        f"{'robustness':11s} fresh vs gcn {defense['margin_vs_gcn']:+.3f}  "
+        f"vs kd {defense['margin_vs_kd']:+.3f}  "
+        f"committed {baseline['defense_margin_vs_gcn']:+.3f}/"
+        f"{baseline['defense_margin_vs_kd']:+.3f}  "
+        f"({defense['attack']}@{defense['attack_budget']:g})"
+    )
+    return compare_robustness(fresh)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="fewer timing repeats")
     parser.add_argument(
         "--bench",
-        choices=["trainstep", "serving", "obs", "sampling", "streaming", "all"],
+        choices=["trainstep", "serving", "obs", "sampling", "streaming", "robustness", "all"],
         default="all",
         help="which committed baseline(s) to check (default: all)",
     )
@@ -357,6 +432,8 @@ def main(argv=None) -> int:
         failures += run_check_sampling(quick=args.quick, tolerance=args.tolerance)
     if args.bench in ("streaming", "all"):
         failures += run_check_streaming(quick=args.quick, tolerance=args.tolerance)
+    if args.bench in ("robustness", "all"):
+        failures += run_check_robustness(quick=args.quick)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -396,6 +473,25 @@ def test_sampling_holds_committed_baseline():
 def test_streaming_holds_committed_baseline():
     failures = run_check_streaming(quick=True)
     assert not failures, failures
+
+
+@pytest.mark.perf
+def test_robustness_holds_committed_baseline():
+    failures = run_check_robustness(quick=True)
+    assert not failures, failures
+
+
+def test_compare_robustness_flags_regressions():
+    ok = {"defense_margin_vs_gcn": 0.10, "defense_margin_vs_kd": 0.03}
+    assert compare_robustness(ok) == []
+    weak = compare_robustness(
+        {"defense_margin_vs_gcn": 0.005, "defense_margin_vs_kd": 0.03}
+    )
+    assert len(weak) == 1 and "beat gcn" in weak[0]
+    losing = compare_robustness(
+        {"defense_margin_vs_gcn": 0.10, "defense_margin_vs_kd": -0.02}
+    )
+    assert len(losing) == 1 and "reliability-free" in losing[0]
 
 
 def test_compare_streaming_flags_regressions():

@@ -9,6 +9,8 @@ Usage::
     python -m repro export --dataset cora --scale 0.2 --out model.rddart
     python -m repro serve --artifact model.rddart --port 8080
     python -m repro deltas --artifact model.rddart --log deltas.jsonl
+    python -m repro attack --attack dice --budget 0.1 --out attack.jsonl
+    python -m repro attack --sweep --budgets 0.1 0.25 --report-out reports/robustness.json
     python -m repro run table6 --obs-dir runs/t6 && python -m repro report runs/t6
 
 ``run`` prints the report table to stdout and optionally writes JSON.
@@ -201,6 +203,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="'eager' refreshes the k-hop closure after every delta; "
              "'lazy' only marks rows stale and refreshes once at the end",
     )
+
+    attack = sub.add_parser(
+        "attack",
+        help="generate a poisoning attack as a replayable delta log, "
+             "or sweep attacks × methods (--sweep)",
+    )
+    attack.add_argument("--dataset", type=str, default="cora", help="dataset stand-in to poison")
+    attack.add_argument("--scale", type=float, default=0.2, help="dataset scale factor")
+    attack.add_argument("--seed", type=int, default=0, help="dataset seed")
+    attack.add_argument(
+        "--attack", choices=["random_flip", "degree_target", "dice"], default="dice",
+        help="perturbation attack (single-log mode)",
+    )
+    attack.add_argument(
+        "--budget", type=float, default=0.1,
+        help="fraction of undirected edges to perturb (single-log mode)",
+    )
+    attack.add_argument("--attack-seed", type=int, default=0, help="attack RNG seed")
+    attack.add_argument(
+        "--batches", type=int, default=1,
+        help="split the perturbation into this many deltas (streamable "
+             "into 'repro deltas' one batch at a time)",
+    )
+    attack.add_argument(
+        "--out", type=str, default=None,
+        help="write the attack's DeltaLog as JSONL here (single-log mode)",
+    )
+    attack.add_argument(
+        "--sweep", action="store_true",
+        help="run the full robustness sweep (attacks × budgets × methods "
+             "over seeds) instead of generating one log",
+    )
+    attack.add_argument(
+        "--attacks", type=str, nargs="+", default=["random_flip", "dice"],
+        help="attacks to sweep (--sweep)",
+    )
+    attack.add_argument(
+        "--budgets", type=float, nargs="+", default=[0.1, 0.25],
+        help="perturbation budgets to sweep (--sweep); 0 (clean) is always included",
+    )
+    attack.add_argument(
+        "--methods", type=str, nargs="+",
+        default=["gcn", "bagging", "kd", "rdd", "soft_median", "trimmed_mean"],
+        help="methods to evaluate under attack (--sweep)",
+    )
+    attack.add_argument("--seeds", type=int, nargs="+", default=[0, 1], help="training seeds (--sweep)")
+    attack.add_argument("--base-models", type=int, default=5, help="ensemble size T (--sweep)")
+    attack.add_argument("--max-epochs", type=int, default=100, help="training epochs per model (--sweep)")
+    attack.add_argument("--patience", type=int, default=20, help="early-stopping patience (--sweep)")
+    attack.add_argument("--workers", type=int, default=1, help="worker processes for per-seed runs (--sweep)")
+    attack.add_argument(
+        "--checkpoint-dir", type=str, default=None,
+        help="persist completed seed cells for crash/resume (--sweep)",
+    )
+    attack.add_argument(
+        "--obs-dir", type=str, default=None,
+        help="record spans + per-epoch under-attack reliability events "
+             "to <dir>/events.jsonl; summarize with 'repro report <dir>'",
+    )
+    attack.add_argument(
+        "--report-out", type=str, default=None,
+        help="write the sweep report as JSON here (--sweep)",
+    )
     return parser
 
 
@@ -364,6 +429,59 @@ def _cmd_deltas(args) -> int:
     return 0
 
 
+def _cmd_attack(args) -> int:
+    from repro.datasets import load_dataset
+    from repro.robustness.attacks import generate_attack, perturbation_stats
+
+    if args.sweep:
+        from repro.robustness.report import render_summary
+        from repro.robustness.sweep import run_sweep
+
+        config = HarnessConfig(
+            scale=args.scale,
+            seeds=tuple(args.seeds),
+            num_base_models=args.base_models,
+            max_epochs=args.max_epochs,
+            patience=args.patience,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            obs_dir=args.obs_dir,
+        )
+        report = run_sweep(
+            config,
+            dataset=args.dataset,
+            attacks=tuple(args.attacks),
+            budgets=tuple(args.budgets),
+            methods=tuple(args.methods),
+            batches=args.batches,
+        )
+        print(render_summary(report))
+        if args.report_out:
+            from repro.io import save_report
+
+            save_report(report, args.report_out)
+            print(f"\nreport written to {args.report_out}")
+        return 0
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    graph.normalized_adjacency()
+    log = generate_attack(
+        graph, args.attack, args.budget, seed=args.attack_seed, batches=args.batches
+    )
+    attacked = log.replay(graph)
+    stats = perturbation_stats(graph, attacked)
+    print(
+        f"{args.attack} @ budget {args.budget} on {graph.name} "
+        f"({graph.num_nodes} nodes): {len(log)} deltas, "
+        f"+{stats['edges_added']:.0f}/-{stats['edges_removed']:.0f} edges, "
+        f"homophily {stats['homophily_before']:.3f} -> {stats['homophily_after']:.3f}"
+    )
+    if args.out:
+        path = log.save(args.out)
+        print(f"delta log written to {path} (replay with 'repro deltas --log {path}')")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.obs.metrics import prometheus_text
     from repro.obs.report import ReportError, read_events, registry_from_events, render_report
@@ -403,6 +521,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "deltas":
         return _cmd_deltas(args)
+
+    if args.command == "attack":
+        return _cmd_attack(args)
 
     if args.command == "report":
         return _cmd_report(args)

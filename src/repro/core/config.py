@@ -6,6 +6,12 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
+# Neighbor-aggregation variants for the base model.  Defined here (the
+# lowest layer that needs the names) so both the config validation and
+# repro.robustness.aggregation — which implements the non-"gcn" ones —
+# share one source of truth without a core → robustness import.
+AGGREGATIONS = ("gcn", "soft_median", "trimmed_mean")
+
 
 @dataclass
 class RDDConfig:
@@ -97,6 +103,16 @@ class RDDConfig:
     # full-batch schedule; larger amortizes the one remaining
     # graph-sized allocation).  Only used when sampler="neighbor".
     eval_every: int = 1
+    # Base-model neighbor aggregation: "gcn" (the paper's weighted mean)
+    # or a robust estimator from repro.robustness.aggregation
+    # ("soft_median" / "trimmed_mean") — the poisoning-defense baselines.
+    # Non-"gcn" aggregations require sampler="full" (robust reweighting
+    # operates on the whole Â, not sampled blocks).
+    aggregation: str = "gcn"
+    # Soft-median softmax temperature (T → ∞ degenerates to "gcn").
+    robust_temperature: float = 1.0
+    # Trimmed-mean drop fraction per neighborhood, in [0, 0.5).
+    robust_trim: float = 0.45
 
     def __post_init__(self) -> None:
         if self.num_base_models < 1:
@@ -136,6 +152,23 @@ class RDDConfig:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.eval_every < 1:
             raise ConfigError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.aggregation not in AGGREGATIONS:
+            raise ConfigError(
+                f"aggregation must be one of {AGGREGATIONS}, got {self.aggregation!r}"
+            )
+        if self.aggregation != "gcn" and self.sampler != "full":
+            raise ConfigError(
+                "robust aggregation requires sampler='full' "
+                f"(got aggregation={self.aggregation!r}, sampler={self.sampler!r})"
+            )
+        if self.robust_temperature <= 0.0:
+            raise ConfigError(
+                f"robust_temperature must be > 0, got {self.robust_temperature}"
+            )
+        if not 0.0 <= self.robust_trim < 0.5:
+            raise ConfigError(
+                f"robust_trim must be in [0, 0.5), got {self.robust_trim}"
+            )
 
     def effective_gamma_initial(self) -> float:
         """γ_initial honoring the "No L2" ablation."""

@@ -86,6 +86,21 @@ class RDDTrainer:
         self._model_factory = model_factory or self._default_factory
 
     def _default_factory(self, graph: Graph, rng: np.random.Generator) -> GraphModel:
+        if self.config.aggregation != "gcn":
+            # Imported lazily: repro.robustness sits above core in the
+            # layering (its sweep harness imports this module).
+            from repro.robustness.aggregation import RobustGCN
+
+            return RobustGCN(
+                graph.num_features,
+                graph.num_classes,
+                rng,
+                hidden=self.config.hidden,
+                dropout=self.config.dropout,
+                aggregation=self.config.aggregation,
+                temperature=self.config.robust_temperature,
+                trim=self.config.robust_trim,
+            )
         return GCN(
             graph.num_features,
             graph.num_classes,

@@ -68,11 +68,17 @@ def entropy_threshold_mask(entropies: np.ndarray, percent: float, lowest: bool) 
 
     The paper avoids absolute entropy thresholds ("a threshold may vary
     significantly for different data and models") in favour of rank-based
-    selection; ties are broken by index for determinism.
+    selection; ties are broken by index for determinism.  Degenerate
+    inputs stay well-defined: an empty array yields an empty mask, an
+    all-equal array falls entirely into the tie-breaking path (index
+    order), and 0%/100% short-circuit to none/all without ranking.
     """
     if not 0.0 <= percent <= 100.0:
         raise ConfigError(f"percent must be in [0, 100], got {percent}")
-    n = len(entropies)
+    entropies = np.asarray(entropies)
+    if entropies.ndim != 1:
+        raise ShapeError(f"entropies must be 1-D, got shape {entropies.shape}")
+    n = entropies.size
     count = int(round(n * percent / 100.0))
     mask = np.zeros(n, dtype=bool)
     if count == 0:
@@ -80,6 +86,10 @@ def entropy_threshold_mask(entropies: np.ndarray, percent: float, lowest: bool) 
     if count >= n:
         mask[:] = True
         return mask
+    if not np.isfinite(entropies).all():
+        # NaNs sort unpredictably through np.partition; the rank-based
+        # selection below would silently return the wrong count.
+        raise ShapeError("entropies must be finite to rank-select a percentile")
     # O(n) selection instead of a full stable argsort.  A stable argsort
     # breaks boundary ties by index: ``order[:count]`` keeps the
     # *smallest* indices among nodes tied at the threshold entropy,
@@ -288,9 +298,24 @@ def edge_reliability(
     if edge_src.shape != edge_dst.shape:
         raise ShapeError(f"edge arrays differ: {edge_src.shape} vs {edge_dst.shape}")
     student_pred = np.asarray(student_pred)
+    if student_pred.ndim != 1:
+        raise ShapeError(f"student predictions must be 1-D, got shape {student_pred.shape}")
+    n = student_pred.shape[0]
+    if edge_src.size == 0:
+        return edge_src, edge_dst
+    low = min(int(edge_src.min()), int(edge_dst.min()))
+    high = max(int(edge_src.max()), int(edge_dst.max()))
+    if low < 0 or high >= n:
+        raise ShapeError(
+            f"edge endpoints must index {n} nodes, got range [{low}, {high}]"
+        )
     same_class = student_pred[edge_src] == student_pred[edge_dst]
     keep = same_class
     if use_reliability:
         reliable_mask = np.asarray(reliable_mask, dtype=bool)
+        if reliable_mask.shape != (n,):
+            raise ShapeError(
+                f"reliable mask covers {reliable_mask.shape} nodes, predictions cover {n}"
+            )
         keep = keep & reliable_mask[edge_src] & reliable_mask[edge_dst]
     return edge_src[keep], edge_dst[keep]

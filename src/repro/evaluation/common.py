@@ -115,6 +115,10 @@ class HarnessConfig:
     fanouts: Sequence[int] = (10, 10)
     batch_size: int = 512
     eval_every: int = 1
+    # Base-model neighbor aggregation for the GCN/RDD runners: "gcn"
+    # (default) or a robust estimator ("soft_median" / "trimmed_mean")
+    # from repro.robustness.aggregation — the poisoning-defense knob.
+    aggregation: str = "gcn"
 
     def trainer(self) -> Trainer:
         """The full-batch trainer (used by every harness regardless of
@@ -159,6 +163,7 @@ class HarnessConfig:
             fanouts=tuple(self.fanouts),
             batch_size=self.batch_size,
             eval_every=self.eval_every,
+            aggregation=self.aggregation,
         )
         base.update(overrides)
         return RDDConfig(**base)
@@ -195,6 +200,11 @@ class HarnessConfig:
             fingerprint["fanouts"] = tuple(self.fanouts)
             fingerprint["batch_size"] = self.batch_size
             fingerprint["eval_every"] = self.eval_every
+        if self.aggregation != "gcn":
+            # Same conditional-key pattern as sampling: robust
+            # aggregation changes results, but the default leaves old
+            # checkpoint fingerprints untouched.
+            fingerprint["aggregation"] = self.aggregation
         return fingerprint
 
 

@@ -1,0 +1,355 @@
+"""Seeded structure-perturbation attacks emitted as replayable delta logs.
+
+Every attack here is a *poisoning* of the graph structure before (or
+during) training: it flips undirected edges under a budget expressed as
+a fraction of the graph's existing undirected edge count.  Rather than
+returning a mutated graph, each attack returns a
+:class:`~repro.graph.delta.DeltaLog` — the same replayable, validated,
+JSONL-serializable edit sequence the streaming-serving path consumes —
+so one attack artifact drives three consumers:
+
+* training-time poisoning via ``log.replay(graph)``, which maintains the
+  cached ``Â`` incrementally and bitwise-identically to a from-scratch
+  normalization (the differential property ``tests/robustness`` asserts);
+* the serving engine's delta path (``repro deltas`` / ``repro attack
+  --serve-log``), streaming the perturbation into a live engine;
+* offline inspection (``DeltaLog.save`` → JSONL on disk).
+
+Attacks are deterministic in ``(graph, budget, seed)``: all randomness
+flows through one ``numpy.random.default_rng(seed)`` and all greedy
+selections break ties by edge index, so regenerating an attack
+reproduces it bit-for-bit.
+
+The three attacks, in increasing order of label knowledge:
+
+``random_flip``
+    Removes a uniform sample of present edges and inserts a uniform
+    sample of absent pairs (half budget each).  Label-agnostic noise —
+    the weakest adversary, the control setting.
+``degree_target``
+    Insertion-only.  One endpoint is drawn degree-proportionally (hubs
+    amplify their neighborhoods through ``Â``'s ``1/√d̂`` scaling less
+    per-edge but touch the most rows), the other uniformly among
+    *differently-labeled* nodes.  Models a spammer wiring into hubs.
+``dice``
+    DICE — "Disconnect Internally, Connect Externally" — with a greedy
+    local twist: among same-labeled present edges it removes those with
+    the largest normalized weight ``1/√(d̂_u·d̂_v)`` (low-degree homophilous
+    edges carry the most message-passing mass), and it inserts
+    cross-labeled absent pairs chosen from a seeded candidate pool to
+    maximize the same weight.  The strongest label-aware structure
+    attack in this family.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.delta import DeltaLog, GraphDelta
+from repro.graph.graph import Graph
+from repro.graph.stats import edge_homophily
+
+__all__ = [
+    "ATTACKS",
+    "attack_edge_count",
+    "degree_targeted_attack",
+    "dice_attack",
+    "generate_attack",
+    "perturbation_stats",
+    "random_flip_attack",
+]
+
+# How many rejection-sampling draws an attack may spend per accepted
+# edge before giving up; generous because dense small graphs (tests)
+# can reject most proposals near saturation.
+_MAX_ATTEMPTS_PER_EDGE = 200
+
+
+def attack_edge_count(graph: Graph, budget: float) -> int:
+    """Number of edge flips a ``budget`` buys on ``graph``.
+
+    ``budget`` is a fraction of the graph's *undirected* edge count in
+    ``[0, 1]``; the flip count is ``round(budget · num_edges)``, so a
+    small budget on a small graph can legitimately round to zero (the
+    attack returns an empty log).
+    """
+    if not np.isfinite(budget) or budget < 0.0 or budget > 1.0:
+        raise GraphError(f"attack budget must lie in [0, 1], got {budget!r}")
+    return int(round(budget * graph.num_edges))
+
+
+def _present_edge_set(graph: Graph) -> Set[Tuple[int, int]]:
+    src, dst = graph.edge_list()
+    return set(zip(src.tolist(), dst.tolist()))
+
+
+def _ordered(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def _build_log(
+    added: np.ndarray, removed: np.ndarray, batches: int
+) -> DeltaLog:
+    """Split disjoint add/remove edge arrays into ``batches`` deltas.
+
+    Additions draw from absent pairs and removals from present ones, so
+    the two sets are disjoint and every contiguous chunk validates
+    against the graph state left by the previous chunk — any batching of
+    the same flip set replays to the same final graph.
+    """
+    if batches < 1:
+        raise GraphError(f"batches must be >= 1, got {batches}")
+    log = DeltaLog()
+    total = len(added) + len(removed)
+    if total == 0:
+        return log
+    batches = min(batches, total)
+    for add_chunk, rem_chunk in zip(
+        np.array_split(added, batches), np.array_split(removed, batches)
+    ):
+        if len(add_chunk) == 0 and len(rem_chunk) == 0:
+            continue
+        log.append(GraphDelta(added_edges=add_chunk, removed_edges=rem_chunk))
+    return log
+
+
+def _sample_absent_pairs(
+    rng: np.random.Generator,
+    count: int,
+    num_nodes: int,
+    present: Set[Tuple[int, int]],
+    accept: Optional[Callable[[int, int], bool]] = None,
+) -> np.ndarray:
+    """``count`` distinct absent node pairs, rejection-sampled.
+
+    ``accept(u, v)`` can impose extra structure (e.g. cross-label only).
+    Raises :class:`GraphError` when the graph is too saturated to supply
+    the requested pairs within the attempt budget.
+    """
+    if count == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if num_nodes < 2:
+        raise GraphError("cannot insert edges into a graph with < 2 nodes")
+    chosen: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = _MAX_ATTEMPTS_PER_EDGE * count
+    while len(chosen) < count:
+        if attempts >= max_attempts:
+            raise GraphError(
+                f"could not find {count} absent edges to insert "
+                f"(found {len(chosen)} after {attempts} draws); "
+                f"lower the attack budget"
+            )
+        attempts += 1
+        u, v = (int(x) for x in rng.integers(0, num_nodes, size=2))
+        if u == v:
+            continue
+        pair = _ordered(u, v)
+        if pair in present or pair in seen:
+            continue
+        if accept is not None and not accept(u, v):
+            continue
+        seen.add(pair)
+        chosen.append(pair)
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def _edge_weight_scores(graph: Graph, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """The ``Â`` off-diagonal weight ``1/√(d̂_src · d̂_dst)`` per edge.
+
+    Degrees are the *input* graph's — the greedy attacks score one shot
+    against the unperturbed structure rather than re-ranking after every
+    flip, which keeps generation O(E log E) and fully vectorized.
+    """
+    inv_sqrt = 1.0 / np.sqrt(graph.degrees() + 1.0)
+    return inv_sqrt[src] * inv_sqrt[dst]
+
+
+def _top_k_stable(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, ties broken by lowest index."""
+    if k >= len(scores):
+        return np.arange(len(scores), dtype=np.int64)
+    # Stable sort on -scores: equal scores keep ascending-index order.
+    order = np.argsort(-scores, kind="stable")
+    return order[:k].astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Attacks
+# ----------------------------------------------------------------------
+def random_flip_attack(
+    graph: Graph, budget: float, seed: int = 0, batches: int = 1
+) -> DeltaLog:
+    """Uniform random edge flips: half the budget removed, half inserted."""
+    rng = np.random.default_rng(seed)
+    total = attack_edge_count(graph, budget)
+    if total == 0:
+        return DeltaLog()
+    num_remove = total // 2
+    num_add = total - num_remove
+
+    src, dst = graph.edge_list()
+    num_remove = min(num_remove, len(src))
+    picks = rng.choice(len(src), size=num_remove, replace=False) if num_remove else np.empty(0, np.int64)
+    picks = np.sort(picks)
+    removed = np.stack([src[picks], dst[picks]], axis=1).astype(np.int64)
+
+    added = _sample_absent_pairs(rng, num_add, graph.num_nodes, _present_edge_set(graph))
+    return _build_log(added, removed, batches)
+
+
+def degree_targeted_attack(
+    graph: Graph, budget: float, seed: int = 0, batches: int = 1
+) -> DeltaLog:
+    """Insertion-only attack wiring degree-proportional hubs to foreign classes.
+
+    One endpoint of every inserted edge is drawn with probability
+    proportional to ``degree + 1``; the partner is drawn uniformly among
+    nodes with a *different* label.  Requires at least two distinct
+    labels (otherwise no cross-label pair exists).
+    """
+    rng = np.random.default_rng(seed)
+    total = attack_edge_count(graph, budget)
+    if total == 0:
+        return DeltaLog()
+    labels = graph.labels
+    if len(np.unique(labels)) < 2:
+        raise GraphError("degree_target attack needs at least two label classes")
+
+    degrees = graph.degrees().astype(np.float64) + 1.0
+    probabilities = degrees / degrees.sum()
+    present = _present_edge_set(graph)
+
+    chosen: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = _MAX_ATTEMPTS_PER_EDGE * total
+    while len(chosen) < total:
+        if attempts >= max_attempts:
+            raise GraphError(
+                f"could not find {total} cross-label absent edges "
+                f"(found {len(chosen)} after {attempts} draws); "
+                f"lower the attack budget"
+            )
+        attempts += 1
+        hub = int(rng.choice(graph.num_nodes, p=probabilities))
+        partner = int(rng.integers(0, graph.num_nodes))
+        if partner == hub or labels[partner] == labels[hub]:
+            continue
+        pair = _ordered(hub, partner)
+        if pair in present or pair in seen:
+            continue
+        seen.add(pair)
+        chosen.append(pair)
+    added = np.asarray(chosen, dtype=np.int64)
+    return _build_log(added, np.empty((0, 2), dtype=np.int64), batches)
+
+
+def dice_attack(
+    graph: Graph, budget: float, seed: int = 0, batches: int = 1
+) -> DeltaLog:
+    """DICE with greedy local scoring: disconnect internally, connect externally.
+
+    Half the budget removes same-labeled present edges with the largest
+    ``Â`` weight ``1/√(d̂_u·d̂_v)`` (ties by edge index); the other half
+    inserts cross-labeled absent pairs picked greedily by the same score
+    from a seeded candidate pool.  When the graph has fewer same-labeled
+    edges than the removal share, the shortfall shifts to insertions.
+    """
+    rng = np.random.default_rng(seed)
+    total = attack_edge_count(graph, budget)
+    if total == 0:
+        return DeltaLog()
+    labels = graph.labels
+    if len(np.unique(labels)) < 2:
+        raise GraphError("dice attack needs at least two label classes")
+
+    src, dst = graph.edge_list()
+    same = labels[src] == labels[dst]
+    same_src, same_dst = src[same], dst[same]
+
+    num_remove = min(total // 2, len(same_src))
+    num_add = total - num_remove
+
+    scores = _edge_weight_scores(graph, same_src, same_dst)
+    picks = np.sort(_top_k_stable(scores, num_remove))
+    removed = np.stack([same_src[picks], same_dst[picks]], axis=1).astype(np.int64)
+
+    # Greedy insertion from a seeded candidate pool: oversample absent
+    # cross-label pairs, then keep the top-scoring ``num_add``.
+    pool_size = 0
+    if num_add:
+        capacity = _cross_label_capacity(graph)
+        if capacity < num_add:
+            raise GraphError(
+                f"dice attack needs {num_add} cross-label absent edges "
+                f"but at most {capacity} exist; lower the attack budget"
+            )
+        pool_size = min(max(4 * num_add, num_add + 32), capacity)
+    pool = _sample_absent_pairs(
+        rng,
+        pool_size,
+        graph.num_nodes,
+        _present_edge_set(graph),
+        accept=lambda u, v: labels[u] != labels[v],
+    )
+    pool_scores = _edge_weight_scores(graph, pool[:, 0], pool[:, 1])
+    keep = np.sort(_top_k_stable(pool_scores, num_add))
+    added = pool[keep]
+    return _build_log(added, removed, batches)
+
+
+def _cross_label_capacity(graph: Graph) -> int:
+    """Upper bound on absent cross-label pairs (caps the dice pool size)."""
+    labels = graph.labels
+    _, counts = np.unique(labels, return_counts=True)
+    n = graph.num_nodes
+    cross_total = (n * n - int((counts.astype(np.int64) ** 2).sum())) // 2
+    src, dst = graph.edge_list()
+    present_cross = int((labels[src] != labels[dst]).sum())
+    return max(cross_total - present_cross, 0)
+
+
+ATTACKS: Dict[str, Callable[..., DeltaLog]] = {
+    "random_flip": random_flip_attack,
+    "degree_target": degree_targeted_attack,
+    "dice": dice_attack,
+}
+
+
+def generate_attack(
+    graph: Graph, attack: str, budget: float, seed: int = 0, batches: int = 1
+) -> DeltaLog:
+    """Run a named attack; the single entry point the CLI/sweep use."""
+    try:
+        fn = ATTACKS[attack]
+    except KeyError:
+        raise GraphError(
+            f"unknown attack {attack!r}; choose from {sorted(ATTACKS)}"
+        ) from None
+    return fn(graph, budget, seed=seed, batches=batches)
+
+
+def perturbation_stats(graph: Graph, attacked: Graph) -> Dict[str, float]:
+    """Structural damage summary: edge churn and homophily drop.
+
+    Attacked graphs are effectively heterophilous — the homophily drop
+    is the single number that predicts how much vanilla message passing
+    should suffer, and what reliability filtering must absorb.
+    """
+    before = _present_edge_set(graph)
+    after = _present_edge_set(attacked)
+    return {
+        "edges_before": float(len(before)),
+        "edges_after": float(len(after)),
+        "edges_added": float(len(after - before)),
+        "edges_removed": float(len(before - after)),
+        "homophily_before": float(edge_homophily(graph.adjacency, graph.labels)),
+        "homophily_after": float(
+            edge_homophily(attacked.adjacency, attacked.labels)
+        ),
+    }

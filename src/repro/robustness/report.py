@@ -1,0 +1,92 @@
+"""Defense-margin analysis and rendering for robustness sweep reports.
+
+The sweep's raw rows answer "how accurate is each method under each
+attack"; this module answers the question the subsystem was built for:
+*does reliability filtering buy accuracy under attack?*  A defense
+margin is RDD's accuracy minus a reference method's accuracy on the same
+poisoned graphs — positive margins against ``kd`` isolate the
+reliability filter, positive margins against ``gcn`` measure the whole
+distillation stack as a defense.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.evaluation.common import ExperimentReport
+
+__all__ = ["defense_margins", "render_summary"]
+
+Rows = Union[ExperimentReport, List[dict]]
+
+
+def _rows(report: Rows) -> List[dict]:
+    return report.rows if isinstance(report, ExperimentReport) else list(report)
+
+
+def defense_margins(
+    report: Rows, method: str = "rdd", references: tuple = ("gcn", "kd")
+) -> List[Dict[str, object]]:
+    """Per-(attack, budget) accuracy margins of ``method`` over each reference.
+
+    Returns one dict per attack setting where both ``method`` and at
+    least one reference were measured: ``{"attack", "budget",
+    "accuracy", "margin_vs_<ref>": ...}``.  Clean rows (attack
+    ``"none"``) are included — a defense that only wins under attack by
+    sacrificing clean accuracy should show it.
+    """
+    by_cell: Dict[tuple, Dict[str, float]] = {}
+    for row in _rows(report):
+        key = (row["attack"], row["budget"])
+        by_cell.setdefault(key, {})[row["method"]] = float(row["accuracy"])
+    margins = []
+    for (attack, budget), cell in by_cell.items():
+        if method not in cell:
+            continue
+        entry: Dict[str, object] = {
+            "attack": attack,
+            "budget": budget,
+            "accuracy": cell[method],
+        }
+        found = False
+        for reference in references:
+            if reference in cell:
+                entry[f"margin_vs_{reference}"] = cell[method] - cell[reference]
+                found = True
+        if found:
+            margins.append(entry)
+    return margins
+
+
+def render_summary(report: Rows, method: str = "rdd") -> str:
+    """The sweep table plus a defense-margin digest, ready to print."""
+    if isinstance(report, ExperimentReport):
+        table = report.format()
+    else:
+        table = ExperimentReport(experiment="robustness", rows=_rows(report)).format()
+    lines = [table, "", f"defense margins ({method} vs references):"]
+    margins = defense_margins(report, method=method)
+    if not margins:
+        lines.append(f"  (no {method} rows in the report)")
+    for entry in margins:
+        parts = [
+            f"{key.replace('margin_vs_', 'vs ')} {value:+.3f}"
+            for key, value in entry.items()
+            if key.startswith("margin_vs_")
+        ]
+        lines.append(
+            f"  {entry['attack']:<13} budget={entry['budget']:<5g} "
+            f"acc={entry['accuracy']:.3f}  " + "  ".join(parts)
+        )
+    wins = [
+        entry
+        for entry in margins
+        if entry["attack"] != "none"
+        and any(v > 0 for k, v in entry.items() if k.startswith("margin_vs_"))
+    ]
+    if margins:
+        lines.append(
+            f"settings where {method} beats a reference under attack: "
+            f"{len(wins)}/{sum(1 for e in margins if e['attack'] != 'none')}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""The robustness sweep: perturbation budget × method × seeds.
+
+For every attack setting (attack name × edge budget) the sweep poisons
+each seed's graph by replaying the attack's
+:class:`~repro.graph.delta.DeltaLog` — exercising the same incremental
+``Â`` maintenance the streaming path uses — then trains every method on
+the poisoned graph via the shared harness seed loop
+(:func:`~repro.evaluation.common.run_over_seeds`: ``parallel_map``
+workers, fork-shared graphs, checkpoint/resume, obs spans).  One row per
+(attack, budget, method) reports mean/std accuracy-under-attack, the
+poisoned graph's edge homophily, and — for the reliability-filtered
+methods — how many nodes/edges the filter still trusts.
+
+The method set brackets RDD from both sides:
+
+``gcn`` / ``bagging``
+    No distillation at all — the floor every defense must beat.
+``kd``
+    RDD with both reliability switches off: vanilla ensemble
+    distillation, distilling across *every* node.  The contrast between
+    ``kd`` and ``rdd`` isolates the reliability filter itself — the
+    falsifiable claim this subsystem exists to test.
+``rdd``
+    Full reliable data distillation (Algorithms 1–3).
+``soft_median`` / ``trimmed_mean``
+    Single robust-aggregation GCNs — the literature's answer to
+    structure poisoning, as external calibration.
+
+Per-epoch under-attack reliability counts ride the existing ``rdd_epoch``
+obs events (set ``HarnessConfig.obs_dir``); the sweep adds an
+``attack_applied`` event per poisoned setting so a ``repro report`` of
+the obs directory aligns reliability trajectories with attack stats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import repro.obs as obs
+from repro.errors import ConfigError
+from repro.evaluation.common import (
+    ExperimentReport,
+    HarnessConfig,
+    load_graphs,
+    mean_over_seeds,
+    run_bagging,
+    run_over_seeds,
+    run_rdd,
+    run_single_gcn,
+    std_over_seeds,
+)
+from repro.graph.graph import Graph
+from repro.graph.stats import edge_homophily
+from repro.robustness.aggregation import RobustGCN
+from repro.robustness.attacks import generate_attack, perturbation_stats
+from repro.training.records import EnsembleResult
+from repro.training.seed import make_rng
+
+__all__ = ["METHODS", "DEFAULT_ATTACKS", "DEFAULT_BUDGETS", "run_robust_gcn", "run_sweep"]
+
+METHODS = ("gcn", "bagging", "kd", "rdd", "soft_median", "trimmed_mean")
+DEFAULT_ATTACKS = ("random_flip", "dice")
+DEFAULT_BUDGETS = (0.1, 0.25)
+
+# Attack RNG namespace: offsets the training seeds so the perturbation
+# stream never aliases a model-init stream.
+_ATTACK_SEED_BASE = 7919
+
+
+def run_robust_gcn(
+    graph: Graph, config: HarnessConfig, seed: int, aggregation: str = "soft_median"
+):
+    """Train one robust-aggregation GCN (module-level for the fork pool)."""
+    model = RobustGCN(
+        graph.num_features,
+        graph.num_classes,
+        make_rng(seed),
+        hidden=config.hidden,
+        dropout=config.dropout,
+        aggregation=aggregation,
+    )
+    return config.trainer().fit(model, graph)
+
+
+_RUNNERS = {
+    "gcn": (run_single_gcn, {}),
+    "bagging": (run_bagging, {}),
+    "kd": (run_rdd, {"use_node_reliability": False, "use_edge_reliability": False}),
+    "rdd": (run_rdd, {}),
+    "soft_median": (run_robust_gcn, {"aggregation": "soft_median"}),
+    "trimmed_mean": (run_robust_gcn, {"aggregation": "trimmed_mean"}),
+}
+
+
+def _accuracy(result) -> float:
+    if isinstance(result, EnsembleResult):
+        return float(result.ensemble_test_accuracy)
+    return float(result.test_accuracy)
+
+
+def _final_reliability(result) -> Tuple[Optional[float], Optional[float]]:
+    """Last student's (num_reliable, num_reliable_edges), when recorded."""
+    history = getattr(result, "reliability_history", None)
+    if not history:
+        return None, None
+    last = history[-1]
+    return float(last["num_reliable"]), float(last["num_reliable_edges"])
+
+
+def _poison(
+    graphs: Sequence[Graph], attack: str, budget: float, batches: int
+) -> Tuple[list, list]:
+    """Replay the attack over each seed's graph; returns (graphs, stats)."""
+    attacked, stats = [], []
+    for index, graph in enumerate(graphs):
+        # Materialize the cached Â first so the replay exercises (and
+        # the training run reuses) the incremental maintenance path.
+        graph.normalized_adjacency()
+        log = generate_attack(
+            graph, attack, budget, seed=_ATTACK_SEED_BASE + index, batches=batches
+        )
+        poisoned = log.replay(graph)
+        attacked.append(poisoned)
+        stats.append(perturbation_stats(graph, poisoned))
+    return attacked, stats
+
+
+def run_sweep(
+    config: HarnessConfig,
+    dataset: str = "cora",
+    attacks: Sequence[str] = DEFAULT_ATTACKS,
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    methods: Sequence[str] = METHODS,
+    batches: int = 1,
+) -> ExperimentReport:
+    """Sweep attack × budget × method; one report row per cell.
+
+    The clean graph (``attack="none"``, budget 0) is always measured
+    first — it anchors every accuracy-drop comparison.  Budgets must be
+    positive; the clean row covers zero.
+    """
+    unknown = [m for m in methods if m not in _RUNNERS]
+    if unknown:
+        raise ConfigError(f"unknown methods {unknown}; choose from {list(METHODS)}")
+    if any(b <= 0.0 for b in budgets):
+        raise ConfigError(f"budgets must be > 0 (the clean row covers 0), got {budgets}")
+    if config.obs_dir is not None:
+        obs.enable(config.obs_dir)
+
+    base_graphs = load_graphs(config, dataset)
+    settings = [("none", 0.0)] + [(a, float(b)) for a in attacks for b in budgets]
+
+    report = ExperimentReport(
+        experiment="robustness",
+        notes=(
+            f"accuracy under structure poisoning on {dataset} "
+            f"(scale={config.scale}, seeds={list(config.seeds)}); budget is the "
+            f"fraction of undirected edges perturbed; kd = RDD with reliability "
+            f"filtering disabled"
+        ),
+    )
+
+    for attack, budget in settings:
+        if attack == "none":
+            attacked, stats = list(base_graphs), [
+                {"homophily_after": edge_homophily(g.adjacency, g.labels)}
+                for g in base_graphs
+            ]
+        else:
+            attacked, stats = _poison(base_graphs, attack, budget, batches)
+        homophily = mean_over_seeds([s["homophily_after"] for s in stats])
+        if obs.enabled() and attack != "none":
+            obs.event(
+                "attack_applied",
+                attack=attack,
+                budget=budget,
+                dataset=dataset,
+                **{k: mean_over_seeds([s[k] for s in stats]) for k in stats[0]},
+            )
+
+        for method in methods:
+            runner, kwargs = _RUNNERS[method]
+            with obs.span(
+                "robustness:cell", attack=attack, budget=budget, method=method
+            ):
+                results = run_over_seeds(runner, attacked, config, **kwargs)
+            accuracies = [_accuracy(r) for r in results]
+            reliable_nodes = [r for r in (_final_reliability(res)[0] for res in results) if r is not None]
+            reliable_edges = [r for r in (_final_reliability(res)[1] for res in results) if r is not None]
+            report.rows.append(
+                {
+                    "attack": attack,
+                    "budget": budget,
+                    "method": method,
+                    "accuracy": mean_over_seeds(accuracies),
+                    "std": std_over_seeds(accuracies),
+                    "homophily": homophily,
+                    "reliable_nodes": (
+                        mean_over_seeds(reliable_nodes) if reliable_nodes else ""
+                    ),
+                    "reliable_edges": (
+                        mean_over_seeds(reliable_edges) if reliable_edges else ""
+                    ),
+                }
+            )
+    return report

@@ -21,6 +21,7 @@ against central finite differences in ``tests/tensor/test_gradcheck.py``.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -35,8 +36,12 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 # Whether newly created op outputs are wired into the tape.  Toggled by
 # the ``no_grad`` / ``enable_grad`` context managers; inference paths
 # (``predict_logits`` etc.) run with this off so evaluation forwards pay
-# no tape-construction or closure-retention cost.
-_GRAD_ENABLED = True
+# no tape-construction or closure-retention cost.  The flag is
+# *thread-local* (defaulting to enabled): serving runs no-grad inference
+# on worker threads concurrently with training, and a process-wide flag
+# would let one thread's ``__exit__`` restore a state snapshotted by
+# another, leaving grad mode stuck off for everyone.
+_GRAD_STATE = threading.local()
 
 # Dtype used when coercing raw values into tensors (parameter init,
 # constants, loss targets).  float64 is the default so gradient checks
@@ -47,12 +52,15 @@ _ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 def is_grad_enabled() -> bool:
-    """Whether op outputs are currently recorded on the autodiff tape."""
-    return _GRAD_ENABLED
+    """Whether op outputs are currently recorded on the autodiff tape.
+
+    Per-thread: toggling grad mode on one thread never affects another.
+    """
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 class no_grad:
-    """Context manager that disables tape construction.
+    """Context manager that disables tape construction on this thread.
 
     Inside the context every operation returns a plain (grad-free) tensor:
     no parents, no backward closures, no graph retention.  Numerical
@@ -60,14 +68,12 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
         return False
 
 
@@ -75,14 +81,12 @@ class enable_grad:
     """Context manager that re-enables tape construction inside ``no_grad``."""
 
     def __enter__(self) -> "enable_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = True
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = True
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
         return False
 
 
@@ -277,7 +281,7 @@ class Tensor:
         garbage collected (and, under ``no_grad``, never retained at all).
         """
         out = Tensor._from_array(data)
-        if _GRAD_ENABLED:
+        if is_grad_enabled():
             for parent in parents:
                 if parent.requires_grad:
                     out.requires_grad = True

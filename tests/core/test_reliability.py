@@ -306,3 +306,58 @@ class TestEntropyThresholdMaskPartitionParity:
                     entropy_threshold_mask(entropies, percent, lowest),
                     self.argsort_reference(entropies, percent, lowest),
                 )
+
+
+class TestDegenerateInputs:
+    """The hardening contract: degenerate inputs stay well-defined."""
+
+    def test_empty_entropies_yield_empty_mask(self):
+        for lowest in (True, False):
+            mask = entropy_threshold_mask(np.array([]), 50.0, lowest=lowest)
+            assert mask.shape == (0,) and mask.dtype == bool
+
+    def test_single_node_rounds_to_none_or_all(self):
+        one = np.array([0.5])
+        assert not entropy_threshold_mask(one, 40.0, lowest=True).any()
+        assert entropy_threshold_mask(one, 60.0, lowest=True).all()
+
+    def test_non_1d_entropies_rejected(self):
+        with pytest.raises(ShapeError):
+            entropy_threshold_mask(np.ones((3, 2)), 50.0, lowest=True)
+
+    def test_nan_entropies_rejected_when_ranking(self):
+        entropies = np.array([0.1, np.nan, 0.3, 0.4])
+        with pytest.raises(ShapeError):
+            entropy_threshold_mask(entropies, 50.0, lowest=True)
+        # The 0%/100% short-circuits never rank, so they stay defined.
+        assert not entropy_threshold_mask(entropies, 0.0, lowest=True).any()
+        assert entropy_threshold_mask(entropies, 100.0, lowest=True).all()
+
+    def test_nan_percent_rejected(self):
+        with pytest.raises(ConfigError):
+            entropy_threshold_mask(np.ones(3), float("nan"), lowest=True)
+
+    def test_edge_reliability_empty_edge_set(self):
+        src, dst = edge_reliability(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.ones(4, dtype=bool),
+            np.zeros(4, dtype=np.int64),
+        )
+        assert src.size == 0 and dst.size == 0
+        assert src.dtype == np.int64 and dst.dtype == np.int64
+
+    def test_edge_reliability_out_of_range_endpoints_rejected(self):
+        mask, pred = np.ones(4, dtype=bool), np.zeros(4, dtype=np.int64)
+        with pytest.raises(ShapeError, match="endpoints"):
+            edge_reliability([0, 3], [1, 4], mask, pred)
+        with pytest.raises(ShapeError, match="endpoints"):
+            edge_reliability([-1], [1], mask, pred)
+
+    def test_edge_reliability_mask_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError, match="mask"):
+            edge_reliability([0], [1], np.ones(3, dtype=bool), np.zeros(4, dtype=np.int64))
+
+    def test_edge_reliability_2d_predictions_rejected(self):
+        with pytest.raises(ShapeError, match="1-D"):
+            edge_reliability([0], [1], np.ones(4, dtype=bool), np.zeros((4, 2)))

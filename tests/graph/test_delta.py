@@ -183,6 +183,30 @@ class TestRoundTrip:
         assert_bitwise_equal_csr(back.adjacency, graph.adjacency)
         assert_bitwise_equal_csr(back._normalized, graph._normalized)
 
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), chunks=st.integers(1, 3))
+    def test_property_remove_then_readd_restores_bitwise(self, seed, chunks):
+        """Any present-edge subset, removed (possibly across several
+        deltas) and re-added, must restore both the CSR adjacency and the
+        cached Â bitwise — the inverse-pair guarantee an attack-then-heal
+        delta stream relies on."""
+        rng = np.random.default_rng(seed)
+        graph = make_two_block_graph(seed=seed % 5)
+        graph.normalized_adjacency()
+        present = sorted(edge_set(graph))
+        size = int(rng.integers(1, min(10, len(present)) + 1))
+        picks = rng.choice(len(present), size=size, replace=False)
+        edges = np.asarray([present[i] for i in picks], dtype=np.int64)
+        state = graph
+        for chunk in np.array_split(edges, chunks):
+            if len(chunk):
+                state = apply_delta(state, GraphDelta(removed_edges=chunk))
+        for chunk in np.array_split(edges, chunks):
+            if len(chunk):
+                state = apply_delta(state, GraphDelta(added_edges=chunk))
+        assert_bitwise_equal_csr(state.adjacency, graph.adjacency)
+        assert_bitwise_equal_csr(state._normalized, graph._normalized)
+
 
 class TestApplyDeltaSemantics:
     def test_input_graph_never_mutated(self):

@@ -1,0 +1,165 @@
+"""Attack semantics, determinism, and the replay==direct Â differential."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.delta import DeltaLog
+from repro.graph.graph import build_adjacency
+from repro.graph.normalize import gcn_normalize
+from repro.robustness.attacks import (
+    ATTACKS,
+    attack_edge_count,
+    dice_attack,
+    generate_attack,
+    perturbation_stats,
+    random_flip_attack,
+)
+
+from ..conftest import make_two_block_graph
+
+BUDGET = 0.2
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_two_block_graph(num_nodes=80, seed=3)
+
+
+def _log_payload(log: DeltaLog) -> list:
+    return [json.dumps(delta.to_json(), sort_keys=True) for delta in log]
+
+
+def _edge_set(graph) -> set:
+    src, dst = graph.edge_list()
+    return set(zip(src.tolist(), dst.tolist()))
+
+
+class TestBudget:
+    def test_edge_count_rounding(self, graph):
+        assert attack_edge_count(graph, 0.0) == 0
+        assert attack_edge_count(graph, 1.0) == graph.num_edges
+
+    @pytest.mark.parametrize("budget", [-0.1, 1.5, float("nan")])
+    def test_invalid_budget_rejected(self, graph, budget):
+        with pytest.raises(GraphError):
+            attack_edge_count(graph, budget)
+
+    def test_zero_budget_is_empty_log(self, graph):
+        for name in ATTACKS:
+            assert len(generate_attack(graph, name, 0.0, seed=0)) == 0
+
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_budget_respected(self, graph, name):
+        log = generate_attack(graph, name, BUDGET, seed=1)
+        flips = sum(len(d.added_edges) + len(d.removed_edges) for d in log)
+        assert flips == attack_edge_count(graph, BUDGET)
+
+    def test_unknown_attack_rejected(self, graph):
+        with pytest.raises(GraphError, match="unknown attack"):
+            generate_attack(graph, "nope", BUDGET)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_same_seed_same_log(self, graph, name):
+        one = generate_attack(graph, name, BUDGET, seed=11, batches=3)
+        two = generate_attack(graph, name, BUDGET, seed=11, batches=3)
+        assert _log_payload(one) == _log_payload(two)
+
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_different_seed_different_log(self, graph, name):
+        one = generate_attack(graph, name, BUDGET, seed=11)
+        two = generate_attack(graph, name, BUDGET, seed=12)
+        assert _log_payload(one) != _log_payload(two)
+
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_jsonl_round_trip(self, graph, name, tmp_path):
+        log = generate_attack(graph, name, BUDGET, seed=5, batches=2)
+        path = log.save(tmp_path / "attack.jsonl")
+        loaded = DeltaLog.load(path)
+        assert _log_payload(log) == _log_payload(loaded)
+
+
+class TestSemantics:
+    def test_random_flip_halves_budget(self, graph):
+        log = random_flip_attack(graph, BUDGET, seed=0)
+        total = attack_edge_count(graph, BUDGET)
+        added = sum(len(d.added_edges) for d in log)
+        removed = sum(len(d.removed_edges) for d in log)
+        assert removed == total // 2
+        assert added == total - removed
+
+    def test_degree_target_is_insertion_only_cross_label(self, graph):
+        log = generate_attack(graph, "degree_target", BUDGET, seed=0)
+        labels = graph.labels
+        for delta in log:
+            assert len(delta.removed_edges) == 0
+            src, dst = delta.added_edges[:, 0], delta.added_edges[:, 1]
+            assert (labels[src] != labels[dst]).all()
+
+    def test_dice_removes_same_label_adds_cross_label(self, graph):
+        log = dice_attack(graph, BUDGET, seed=0)
+        labels = graph.labels
+        for delta in log:
+            if len(delta.removed_edges):
+                src, dst = delta.removed_edges[:, 0], delta.removed_edges[:, 1]
+                assert (labels[src] == labels[dst]).all()
+            if len(delta.added_edges):
+                src, dst = delta.added_edges[:, 0], delta.added_edges[:, 1]
+                assert (labels[src] != labels[dst]).all()
+
+    def test_label_aware_attacks_reduce_homophily_most(self, graph):
+        graph.normalized_adjacency()
+        drops = {}
+        for name in ATTACKS:
+            attacked = generate_attack(graph, name, BUDGET, seed=2).replay(graph)
+            stats = perturbation_stats(graph, attacked)
+            drops[name] = stats["homophily_before"] - stats["homophily_after"]
+            assert drops[name] > 0.0
+        assert drops["dice"] >= drops["random_flip"]
+
+    def test_single_class_graph_rejected_by_label_aware_attacks(self):
+        graph = make_two_block_graph(num_nodes=40, seed=0)
+        graph.labels[:] = 0
+        for name in ("degree_target", "dice"):
+            with pytest.raises(GraphError):
+                generate_attack(graph, name, BUDGET, seed=0)
+
+
+class TestReplayDifferential:
+    """The acceptance property: replayed attack == direct attack, bitwise on Â."""
+
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    @pytest.mark.parametrize("batches", [1, 4])
+    def test_replay_matches_direct_bitwise(self, graph, name, batches):
+        graph.normalized_adjacency()  # warm the cache: replay goes incremental
+        log = generate_attack(graph, name, BUDGET, seed=9, batches=batches)
+        attacked = log.replay(graph)
+        assert attacked._normalized is not None
+
+        # Direct construction: apply the flips to an edge list and
+        # normalize from scratch.
+        edges = _edge_set(graph)
+        for delta in log:
+            for u, v in delta.removed_edges:
+                edges.discard((min(u, v), max(u, v)))
+            for u, v in delta.added_edges:
+                edges.add((min(u, v), max(u, v)))
+        direct_adj = build_adjacency(graph.num_nodes, np.asarray(sorted(edges)))
+        direct = gcn_normalize(direct_adj).astype(attacked._normalized.dtype)
+
+        assert _edge_set(attacked) == edges
+        incremental = attacked._normalized
+        assert np.array_equal(incremental.indptr, direct.indptr)
+        assert np.array_equal(incremental.indices, direct.indices)
+        assert np.array_equal(incremental.data, direct.data)
+
+    def test_batching_invariant(self, graph):
+        one = generate_attack(graph, "dice", BUDGET, seed=4, batches=1).replay(graph)
+        many = generate_attack(graph, "dice", BUDGET, seed=4, batches=5).replay(graph)
+        assert _edge_set(one) == _edge_set(many)

@@ -50,6 +50,59 @@ class TestGradMode:
                 raise RuntimeError("boom")
         assert is_grad_enabled()
 
+    def test_grad_mode_is_thread_local(self):
+        # A worker thread holding no_grad open must not flip grad mode on
+        # the main thread, and vice versa.
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with no_grad():
+                seen["inside"] = is_grad_enabled()
+                entered.set()
+                release.wait(timeout=10)
+            seen["after"] = is_grad_enabled()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert entered.wait(timeout=10)
+        assert is_grad_enabled()  # main thread unaffected
+        with no_grad():
+            pass
+        release.set()
+        t.join(timeout=10)
+        assert seen == {"inside": False, "after": True}
+        assert is_grad_enabled()
+
+    def test_interleaved_threads_cannot_leak_disabled_state(self):
+        # Regression: with a process-wide flag, exits interleaved across
+        # threads (A enter, B enter, A exit, B exit) restored a stale
+        # snapshot and left grad mode off for the whole process.
+        import threading
+
+        barrier_in = threading.Barrier(2, timeout=10)
+        barrier_out = threading.Barrier(2, timeout=10)
+
+        def worker():
+            ctx = no_grad()
+            ctx.__enter__()
+            barrier_in.wait()
+            barrier_out.wait()
+            ctx.__exit__(None, None, None)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        ctx = no_grad()
+        ctx.__enter__()
+        barrier_in.wait()
+        ctx.__exit__(None, None, None)
+        barrier_out.wait()
+        t.join(timeout=10)
+        assert is_grad_enabled()
+
 
 class TestNoTapeRetained:
     def test_elementwise_op_builds_no_tape(self):
