@@ -1,25 +1,31 @@
-"""Serving benchmark: micro-batched vs unbatched prediction throughput.
+"""Serving benchmark: batching, replica scaling, and overload behavior.
 
-Measures the prediction engine under closed-loop concurrent load — the
-workload an HTTP front end produces — in two configurations:
+Measures the serving stack under closed-loop concurrent load — the
+workload an HTTP front end produces — in three regimes:
 
-* **unbatched** — every request runs the engine alone: with the logits
-  cache off (a stateless/inductive-style deployment), each request pays
-  its own full eval-mode forward pass;
-* **batched**   — requests flow through the :class:`MicroBatcher`, so
-  concurrent callers coalesce and each batch pays **one** forward shared
-  by up to ``max_batch_size`` requests.
+* **unbatched vs batched** (single process) — with the logits cache off
+  each lone request pays its own full eval-mode forward; through the
+  :class:`MicroBatcher` concurrent callers coalesce and each batch pays
+  **one** forward shared by up to ``max_batch_size`` requests.  The
+  batched/unbatched ratio is floored at 2.0x.
+* **replica scaling** — the :class:`ReplicaFrontend` at 1/2/4 worker
+  processes, all attached to one shared-memory logits table, driven at
+  concurrency ``REPLICA_CONCURRENCY``.  The headline is
+  ``replica_speedup``: best replica-tier rps over the committed batched
+  rps, floored at 5.0x by ``check_bench.py`` (serving from the shared
+  precomputed table turns ~5 ms compute-bound requests into
+  microsecond lookups, which is where the floor comes from — not from
+  core-parallelism this 1-core CI box doesn't have).
+* **overload** — submissions far beyond a deliberately tiny admission
+  queue.  The point is *graceful degradation*: some requests shed
+  (:class:`Overloaded`), every accepted request still answers, and the
+  accepted p99 stays bounded instead of the whole tail collapsing.
 
-Both paths are bitwise identical in output (asserted before any timing).
-The benchmark reports throughput and p50/p99 latency for each mode plus
-the batched/unbatched throughput ratio — the headline number, floored at
-2.0x by the perf test and guarded against regression by
-``scripts/check_bench.py`` (``BENCH_serving.json`` is the committed
-baseline).
-
-Run ``python scripts/bench_serving.py`` (or this file's ``main``) to
-refresh the baseline.  The pytest entries are ``perf``-marked and
-excluded from tier-1.
+Batched and replica paths are bitwise identical to unbatched ones
+(asserted before any timing).  Run ``python benchmarks/bench_serving.py``
+to refresh ``BENCH_serving.json``; ``scripts/check_bench.py`` guards it
+against regression.  The pytest entries are ``perf``-marked and excluded
+from tier-1.
 """
 
 from __future__ import annotations
@@ -37,8 +43,9 @@ import pytest
 from repro.datasets import cora_like
 from repro.models.gcn import GCN
 from repro.serving.artifacts import ModelSpec, export_model_artifact
-from repro.serving.batching import MicroBatcher
+from repro.serving.batching import MicroBatcher, Overloaded
 from repro.serving.engine import PredictionEngine
+from repro.serving.frontend import ReplicaFrontend
 from repro.serving.metrics import ServingMetrics
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -49,40 +56,45 @@ NODES_PER_REQUEST = 8
 MAX_BATCH_SIZE = 16
 MAX_WAIT_S = 0.002
 
+REPLICA_COUNTS = (1, 2, 4)
+REPLICA_CONCURRENCY = 64
+OVERLOAD_QUEUE = 64
 
-def _build_engine(scale: float) -> PredictionEngine:
-    """An engine over a freshly exported artifact (weights untrained —
-    serving cost is architecture-, not accuracy-, dependent).
+
+def _export_bench_model(tmp: Path):
+    """Export the benchmark artifact; returns ``(path, graph)``.
 
     The served model is a 4-layer, width-64 GCN: a production-weight
     forward (~5 ms on full-scale Cora) so the measurement captures the
     regime batching exists for — compute-dominated requests — rather
-    than queue ping-pong around a sub-millisecond kernel.
+    than queue ping-pong around a sub-millisecond kernel.  Weights are
+    untrained; serving cost is architecture-, not accuracy-, dependent.
     """
-    graph = cora_like(seed=0, scale=scale)
+    graph = cora_like(seed=0, scale=1.0)
     spec = ModelSpec("gcn", {"hidden": [64, 64, 64], "num_layers": 4})
     model = GCN(
         graph.num_features, graph.num_classes, np.random.default_rng(0),
         hidden=[64, 64, 64], num_layers=4,
     )
     model.eval()
-    with tempfile.TemporaryDirectory() as tmp:
-        path = export_model_artifact(Path(tmp) / "bench.rddart", model, spec, graph)
-        artifact_engine = PredictionEngine(path, graph, cache_logits=False)
-    return artifact_engine
+    path = export_model_artifact(tmp / "bench.rddart", model, spec, graph)
+    return path, graph
 
 
-def _make_requests(num_nodes: int, per_thread: int, rng: np.random.Generator) -> List[List[np.ndarray]]:
+def _make_requests(
+    num_nodes: int, per_thread: int, rng: np.random.Generator, concurrency: int = CONCURRENCY
+) -> List[List[np.ndarray]]:
     return [
         [rng.integers(0, num_nodes, size=NODES_PER_REQUEST) for _ in range(per_thread)]
-        for _ in range(CONCURRENCY)
+        for _ in range(concurrency)
     ]
 
 
 def _drive(requests: List[List[np.ndarray]], call: Callable[[np.ndarray], np.ndarray]) -> Dict[str, float]:
-    """Closed-loop load: CONCURRENCY threads, each issuing its requests
-    back to back; returns throughput + latency percentiles."""
-    latencies: List[List[float]] = [[] for _ in range(CONCURRENCY)]
+    """Closed-loop load: one thread per request list, each issuing its
+    requests back to back; returns throughput + latency percentiles."""
+    concurrency = len(requests)
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
     errors: List[BaseException] = []
 
     def client(thread_index: int) -> None:
@@ -94,7 +106,7 @@ def _drive(requests: List[List[np.ndarray]], call: Callable[[np.ndarray], np.nda
         except BaseException as error:  # surface in the main thread
             errors.append(error)
 
-    threads = [threading.Thread(target=client, args=(i,)) for i in range(CONCURRENCY)]
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
     started = time.perf_counter()
     for thread in threads:
         thread.start()
@@ -127,32 +139,124 @@ def _assert_parity(engine: PredictionEngine, rng: np.random.Generator) -> None:
             )
 
 
+def _assert_replica_parity(frontend: ReplicaFrontend, engine: PredictionEngine,
+                           rng: np.random.Generator) -> None:
+    """Replica fan-out must be bitwise identical to in-process serving."""
+    for _ in range(12):
+        nodes = rng.integers(0, engine.num_nodes, size=NODES_PER_REQUEST)
+        assert np.array_equal(
+            frontend.predict_nodes(nodes, timeout=30), engine.predict_nodes(nodes)
+        ), "replica prediction diverged from single-process"
+
+
+def _bench_replicas(path: Path, graph, engine: PredictionEngine, per_thread: int) -> Dict[str, object]:
+    scaling: Dict[str, object] = {}
+    for count in REPLICA_COUNTS:
+        with ReplicaFrontend(
+            path, graph, replicas=count, max_queue=8192,
+            max_batch_size=MAX_BATCH_SIZE * 2, max_wait_s=MAX_WAIT_S,
+        ) as frontend:
+            _assert_replica_parity(frontend, engine, np.random.default_rng(23))
+            result = _drive(
+                _make_requests(
+                    graph.num_nodes, per_thread, np.random.default_rng(13),
+                    concurrency=REPLICA_CONCURRENCY,
+                ),
+                lambda nodes: frontend.predict_nodes(nodes, timeout=60),
+            )
+            result["replicas"] = count
+            scaling[str(count)] = result
+    return scaling
+
+
+def _bench_overload(path: Path, graph, submitters: int, per_thread: int) -> Dict[str, object]:
+    """Offer far more than a tiny admission queue accepts; measure shape.
+
+    Submissions outrun the queue (no waiting for results), so shedding
+    *must* happen; the accepted requests are then collected and their
+    p99 measured — bounded queue, bounded tail.
+    """
+    with ReplicaFrontend(
+        path, graph, replicas=2, max_queue=OVERLOAD_QUEUE,
+        max_batch_size=MAX_BATCH_SIZE, max_wait_s=MAX_WAIT_S,
+    ) as frontend:
+        futures: List = []
+        shed = 0
+        lock = threading.Lock()
+
+        def submitter(index: int) -> None:
+            nonlocal shed
+            rng = np.random.default_rng(100 + index)
+            for _ in range(per_thread):
+                nodes = rng.integers(0, graph.num_nodes, size=NODES_PER_REQUEST)
+                started = time.perf_counter()
+                try:
+                    future = frontend.submit(("nodes", nodes.tolist()))
+                except Overloaded:
+                    with lock:
+                        shed += 1
+                    continue
+                with lock:
+                    futures.append((future, started))
+
+        threads = [threading.Thread(target=submitter, args=(i,)) for i in range(submitters)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        latencies = []
+        for future, started in futures:
+            future.result(timeout=60)
+            latencies.append(time.perf_counter() - started)
+    flat = np.asarray(latencies)
+    return {
+        "max_queue": OVERLOAD_QUEUE,
+        "submitted": len(futures) + shed,
+        "accepted": len(futures),
+        "shed": shed,
+        "accepted_p99_ms": float(np.percentile(flat, 99) * 1000.0) if flat.size else 0.0,
+    }
+
+
 def run_benchmark(quick: bool = False) -> Dict[str, object]:
     # quick trims the request count, never the workload: the measured
-    # ratio must stay comparable to the committed full-run baseline.
-    engine = _build_engine(scale=1.0)
-    rng = np.random.default_rng(7)
-    _assert_parity(engine, rng)
+    # ratios must stay comparable to the committed full-run baseline.
+    with tempfile.TemporaryDirectory() as tmp:
+        path, graph = _export_bench_model(Path(tmp))
+        engine = PredictionEngine(path, graph, cache_logits=False)
+        rng = np.random.default_rng(7)
+        _assert_parity(engine, rng)
 
-    per_thread = 40 if quick else 150
-    # Unbatched: every request pays its own forward (cache is off).
-    unbatched = _drive(
-        _make_requests(engine.num_nodes, per_thread, np.random.default_rng(11)),
-        engine.predict_nodes,
-    )
-    # Batched: concurrent requests coalesce onto shared forwards.
-    metrics = ServingMetrics()
-    with MicroBatcher(
-        engine.predict_many,
-        max_batch_size=MAX_BATCH_SIZE,
-        max_wait_s=MAX_WAIT_S,
-        metrics=metrics,
-    ) as batcher:
-        batched = _drive(
+        per_thread = 40 if quick else 150
+        # Unbatched: every request pays its own forward (cache is off).
+        unbatched = _drive(
             _make_requests(engine.num_nodes, per_thread, np.random.default_rng(11)),
-            lambda nodes: batcher.predict(nodes, timeout=60),
+            engine.predict_nodes,
         )
-    batch_summary = metrics.snapshot()["histograms"].get("batch_size", {})
+        # Batched: concurrent requests coalesce onto shared forwards.
+        metrics = ServingMetrics()
+        with MicroBatcher(
+            engine.predict_many,
+            max_batch_size=MAX_BATCH_SIZE,
+            max_wait_s=MAX_WAIT_S,
+            metrics=metrics,
+        ) as batcher:
+            batched = _drive(
+                _make_requests(engine.num_nodes, per_thread, np.random.default_rng(11)),
+                lambda nodes: batcher.predict(nodes, timeout=60),
+            )
+        batch_summary = metrics.snapshot()["histograms"].get("batch_size", {})
+
+        # Replica tier: shared-memory logits behind 1/2/4 worker processes.
+        replica_per_thread = 25 if quick else 80
+        replica_scaling = _bench_replicas(path, graph, engine, replica_per_thread)
+        best_replica_rps = max(entry["rps"] for entry in replica_scaling.values())
+
+        # Overload: offered load far beyond a tiny admission queue.
+        overload = _bench_overload(
+            path, graph, submitters=8, per_thread=250 if quick else 1000
+        )
+
     return {
         "graph": {"name": engine.graph.name, "nodes": engine.num_nodes},
         "concurrency": CONCURRENCY,
@@ -163,6 +267,10 @@ def run_benchmark(quick: bool = False) -> Dict[str, object]:
         "batched": batched,
         "mean_batch_size": batch_summary.get("mean", 1.0),
         "batched_speedup": batched["rps"] / unbatched["rps"],
+        "replica_concurrency": REPLICA_CONCURRENCY,
+        "replica_scaling": replica_scaling,
+        "replica_speedup": best_replica_rps / batched["rps"],
+        "overload": overload,
     }
 
 
@@ -184,6 +292,13 @@ def test_batched_throughput_beats_unbatched():
         f"batched serving is only {results['batched_speedup']:.2f}x unbatched "
         f"at concurrency {CONCURRENCY} (acceptance floor 2.0x)"
     )
+    assert results["replica_speedup"] >= 5.0, (
+        f"replica serving is only {results['replica_speedup']:.2f}x batched "
+        f"at concurrency {REPLICA_CONCURRENCY} (acceptance floor 5.0x)"
+    )
+    overload = results["overload"]
+    assert overload["shed"] > 0, "overload run never shed — queue bound not engaged"
+    assert overload["accepted"] > 0, "overload run accepted nothing"
 
 
 if __name__ == "__main__":

@@ -1,21 +1,39 @@
 #!/usr/bin/env python
 """HTTP load generator for a running ``repro serve`` instance.
 
-Closed-loop load: ``--concurrency`` client threads each issue
-``--requests`` POSTs to ``/predict`` with random node ids, then the tool
-reports throughput and latency percentiles and (optionally) the server's
-own ``/metrics`` snapshot.  Stdlib only — point it at any host.
+Two traffic shapes, stdlib only:
+
+* **closed loop** (default): ``--concurrency`` client threads each issue
+  ``--requests`` POSTs to ``/predict`` back to back.  Offered load
+  adapts to the server's speed — good for measuring peak throughput,
+  useless for studying overload (a slowing server throttles its own
+  clients).
+* **open loop** (``--rate R``): arrivals are scheduled at a fixed R
+  requests/second for ``--duration`` seconds, regardless of how fast
+  responses come back — the shape real traffic has, and the only way to
+  actually saturate an admission-controlled server.  Sender threads
+  claim arrival slots and fire at their scheduled instants; a slot
+  whose time has already passed fires immediately (the backlog is part
+  of the story being measured).
+
+Every response is counted by status — 200s land in the latency
+percentiles, 429s are shed load (the server protecting itself), 503s
+are timeouts — so the report distinguishes "the server collapsed" from
+"the server degraded exactly as designed".
 
 Usage::
 
     python -m repro serve --artifact model.rddart --port 8080 &
     python scripts/loadgen.py --url http://127.0.0.1:8080 \
         --requests 200 --concurrency 8 --out loadgen.json
+    python scripts/loadgen.py --url http://127.0.0.1:8080 \
+        --rate 2000 --duration 5 --concurrency 64
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import random
 import sys
@@ -23,7 +41,7 @@ import threading
 import time
 import urllib.error
 import urllib.request
-from typing import List
+from typing import Dict, List, Optional
 
 
 def _get_json(url: str, timeout: float = 10.0) -> dict:
@@ -31,14 +49,84 @@ def _get_json(url: str, timeout: float = 10.0) -> dict:
         return json.loads(response.read())
 
 
-def _post_json(url: str, body: dict, timeout: float = 30.0) -> dict:
+def _post_json(url: str, body: dict, timeout: float = 30.0) -> int:
+    """POST; returns the HTTP status (4xx/5xx included, not raised)."""
     request = urllib.request.Request(
         url,
         data=json.dumps(body).encode("utf-8"),
         headers={"Content-Type": "application/json"},
     )
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read())
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code
+
+
+class _Tally:
+    """Thread-safe per-status counts + success latencies."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.statuses: Dict[str, int] = {}
+        self.latencies: List[float] = []
+        self.transport_errors = 0
+
+    def record(self, status: Optional[int], latency: float) -> None:
+        with self.lock:
+            if status is None:
+                self.transport_errors += 1
+                return
+            key = str(status)
+            self.statuses[key] = self.statuses.get(key, 0) + 1
+            if status == 200:
+                self.latencies.append(latency)
+
+
+def _fire(url: str, rng: random.Random, nodes_per_request: int, num_nodes: int,
+          tally: _Tally, timeout: float) -> None:
+    nodes = [rng.randrange(num_nodes) for _ in range(nodes_per_request)]
+    started = time.perf_counter()
+    try:
+        status = _post_json(f"{url}/predict", {"nodes": nodes}, timeout=timeout)
+    except (urllib.error.URLError, OSError, ValueError):
+        tally.record(None, 0.0)
+        return
+    tally.record(status, time.perf_counter() - started)
+
+
+def _summarize(tally: _Tally, wall: float, extra: dict) -> dict:
+    flat = sorted(tally.latencies)
+    if not flat and tally.transport_errors:
+        raise SystemExit(
+            f"every request failed at the transport layer "
+            f"({tally.transport_errors} errors); is the server up?"
+        )
+
+    def percentile(p: float) -> float:
+        if not flat:
+            return 0.0
+        return flat[min(len(flat) - 1, int(round(p / 100.0 * (len(flat) - 1))))]
+
+    total = sum(tally.statuses.values()) + tally.transport_errors
+    summary = {
+        "requests": total,
+        "statuses": dict(sorted(tally.statuses.items())),
+        "ok": len(flat),
+        "shed": tally.statuses.get("429", 0),
+        "timeouts": tally.statuses.get("503", 0),
+        "transport_errors": tally.transport_errors,
+        "failures": total - len(flat),
+        "wall_s": wall,
+        "rps": len(flat) / wall if wall > 0 else 0.0,
+        "p50_ms": percentile(50) * 1000.0,
+        "p90_ms": percentile(90) * 1000.0,
+        "p99_ms": percentile(99) * 1000.0,
+    }
+    summary.update(extra)
+    return summary
 
 
 def run_load(
@@ -48,21 +136,15 @@ def run_load(
     nodes_per_request: int,
     num_nodes: int,
     seed: int = 0,
+    timeout: float = 30.0,
 ) -> dict:
-    latencies: List[List[float]] = [[] for _ in range(concurrency)]
-    failures: List[str] = []
+    """Closed loop: each thread fires its next request on completion."""
+    tally = _Tally()
 
     def client(thread_index: int) -> None:
         rng = random.Random(f"{seed}:{thread_index}")
         for _ in range(requests_per_thread):
-            nodes = [rng.randrange(num_nodes) for _ in range(nodes_per_request)]
-            started = time.perf_counter()
-            try:
-                _post_json(f"{url}/predict", {"nodes": nodes})
-            except (urllib.error.URLError, OSError, ValueError) as error:
-                failures.append(str(error))
-                return
-            latencies[thread_index].append(time.perf_counter() - started)
+            _fire(url, rng, nodes_per_request, num_nodes, tally, timeout)
 
     threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
     started = time.perf_counter()
@@ -71,34 +153,75 @@ def run_load(
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - started
+    return _summarize(tally, wall, {"mode": "closed", "url": url,
+                                    "concurrency": concurrency,
+                                    "nodes_per_request": nodes_per_request})
 
-    flat = sorted(latency for per_thread in latencies for latency in per_thread)
-    if not flat:
-        raise SystemExit(f"every request failed; first error: {failures[0] if failures else '?'}")
 
-    def percentile(p: float) -> float:
-        return flat[min(len(flat) - 1, int(round(p / 100.0 * (len(flat) - 1))))]
+def run_open_loop(
+    url: str,
+    rate: float,
+    duration: float,
+    concurrency: int,
+    nodes_per_request: int,
+    num_nodes: int,
+    seed: int = 0,
+    timeout: float = 30.0,
+) -> dict:
+    """Open loop: arrivals at ``rate``/s for ``duration`` seconds.
 
-    return {
-        "url": url,
-        "concurrency": concurrency,
-        "nodes_per_request": nodes_per_request,
-        "requests": len(flat),
-        "failures": len(failures),
-        "wall_s": wall,
-        "rps": len(flat) / wall,
-        "p50_ms": percentile(50) * 1000.0,
-        "p90_ms": percentile(90) * 1000.0,
-        "p99_ms": percentile(99) * 1000.0,
-    }
+    Sender threads claim arrival slot *i* (scheduled at ``i / rate``)
+    from a shared counter and sleep until its instant.  When the server
+    falls behind, slots fire the moment a sender frees up — offered
+    load never adapts to the server, which is the point.
+    """
+    tally = _Tally()
+    total_arrivals = max(1, int(rate * duration))
+    slots = itertools.count()
+    slot_lock = threading.Lock()
+    epoch = time.perf_counter()
+
+    def sender(thread_index: int) -> None:
+        rng = random.Random(f"{seed}:{thread_index}")
+        while True:
+            with slot_lock:
+                slot = next(slots)
+            if slot >= total_arrivals:
+                return
+            delay = epoch + slot / rate - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            _fire(url, rng, nodes_per_request, num_nodes, tally, timeout)
+
+    threads = [threading.Thread(target=sender, args=(i,)) for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - epoch
+    return _summarize(tally, wall, {"mode": "open", "url": url,
+                                    "concurrency": concurrency,
+                                    "nodes_per_request": nodes_per_request,
+                                    "offered_rate": rate,
+                                    "offered_rps": total_arrivals / wall if wall > 0 else 0.0})
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--url", type=str, default="http://127.0.0.1:8080", help="server base URL")
-    parser.add_argument("--requests", type=int, default=100, help="requests per client thread")
-    parser.add_argument("--concurrency", type=int, default=8, help="client threads")
+    parser.add_argument("--requests", type=int, default=100, help="requests per client thread (closed loop)")
+    parser.add_argument("--concurrency", type=int, default=8, help="client/sender threads")
     parser.add_argument("--nodes-per-request", type=int, default=8, help="node ids per /predict")
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="open-loop mode: schedule arrivals at this fixed rate "
+             "instead of the closed request loop",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="how long to offer load in open-loop mode",
+    )
+    parser.add_argument("--timeout", type=float, default=30.0, help="per-request client timeout")
     parser.add_argument("--seed", type=int, default=0, help="request-stream seed")
     parser.add_argument("--out", type=str, default=None, help="write the summary as JSON here")
     parser.add_argument(
@@ -113,9 +236,16 @@ def main(argv=None) -> int:
     num_nodes = int(health["nodes"])
     print(f"target: {health.get('model')} over {num_nodes} nodes at {args.url}")
 
-    summary = run_load(
-        args.url, args.requests, args.concurrency, args.nodes_per_request, num_nodes, args.seed
-    )
+    if args.rate is not None:
+        summary = run_open_loop(
+            args.url, args.rate, args.duration, args.concurrency,
+            args.nodes_per_request, num_nodes, args.seed, args.timeout,
+        )
+    else:
+        summary = run_load(
+            args.url, args.requests, args.concurrency, args.nodes_per_request,
+            num_nodes, args.seed, args.timeout,
+        )
     print(json.dumps(summary, indent=2))
     if args.metrics:
         print(json.dumps(_get_json(f"{args.url}/metrics"), indent=2))
@@ -123,7 +253,10 @@ def main(argv=None) -> int:
         with open(args.out, "w") as handle:
             json.dump(summary, handle, indent=2)
         print(f"summary written to {args.out}")
-    return 1 if summary["failures"] else 0
+    # Shed (429) and timed-out (503) responses are the server degrading
+    # as designed, not a load-generation failure; only transport-level
+    # errors fail the run.
+    return 1 if summary["transport_errors"] else 0
 
 
 if __name__ == "__main__":

@@ -12,7 +12,14 @@ to traffic::
     engine = PredictionEngine("model.rddart", graph)
     PredictionServer(engine, port=8080).serve_forever()
 
-or, from the command line, ``repro export`` + ``repro serve``.
+or, from the command line, ``repro export`` + ``repro serve``.  For
+multi-process serving — N replica workers sharing one shared-memory
+logits table behind a bounded admission queue — build a
+:class:`ReplicaFrontend` instead of an engine and hand it to the server
+(``repro serve --replicas N``)::
+
+    frontend = ReplicaFrontend("model.rddart", graph, replicas=4)
+    PredictionServer(frontend=frontend, port=8080).serve_forever()
 """
 
 from repro.serving.artifacts import (
@@ -26,13 +33,17 @@ from repro.serving.artifacts import (
     model_kinds,
     register_model_kind,
 )
-from repro.serving.batching import BatcherClosed, MicroBatcher
+from repro.serving.batching import BatcherClosed, MicroBatcher, Overloaded
+from repro.serving.cache import TieredCache
 from repro.serving.engine import PredictionEngine, ServingError
+from repro.serving.frontend import ReplicaFrontend
 from repro.serving.refresh import BackgroundRefresher, RowRefresher
+from repro.serving.replica import ReplicaError, SharedLogitsTable
 from repro.serving.metrics import (
     MetricRegistry,
     ServingMetrics,
     WindowHistogram,
+    merge_counter_snapshots,
     prometheus_text,
 )
 from repro.serving.server import PredictionServer
@@ -46,11 +57,17 @@ __all__ = [
     "MicroBatcher",
     "ModelArtifact",
     "ModelSpec",
+    "Overloaded",
     "PredictionEngine",
     "PredictionServer",
+    "ReplicaError",
+    "ReplicaFrontend",
     "ServingError",
     "ServingMetrics",
+    "SharedLogitsTable",
+    "TieredCache",
     "WindowHistogram",
+    "merge_counter_snapshots",
     "export_ensemble_artifact",
     "export_model_artifact",
     "graph_fingerprint",

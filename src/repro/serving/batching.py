@@ -21,6 +21,11 @@ Correctness contract:
   ``serving:request`` fault point, see :mod:`repro.testing.faults`)
   errors *its own* future; the rest of the batch completes and the
   worker loop survives to serve the next batch.
+* **admission control** — the queue is *bounded* (``max_queue``).  A
+  submit against a full queue raises :class:`Overloaded` immediately
+  instead of growing the queue without bound: overload sheds the excess
+  (HTTP maps it to 429) while the accepted requests keep their latency,
+  rather than every request's p99 collapsing together.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.serving.metrics import ServingMetrics
@@ -39,6 +44,20 @@ from repro.testing.faults import fault_point
 
 class BatcherClosed(ReproError):
     """A request was submitted to a batcher that has been shut down."""
+
+
+class Overloaded(ReproError):
+    """A request was shed: the serving queue is at capacity.
+
+    Raised by :meth:`MicroBatcher.submit` (and the replica frontend's
+    admission queue) instead of enqueueing past the bound.  HTTP maps it
+    to ``429 Too Many Requests`` with a ``Retry-After`` hint of
+    :attr:`retry_after_s` (rounded up to whole seconds).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
 
 
 @dataclass
@@ -71,9 +90,15 @@ class MicroBatcher:
     workers:
         Worker threads draining the queue.  One worker maximizes
         coalescing; more help when ``batch_fn`` releases the GIL.
+    max_queue:
+        Admission bound: requests queued (not yet picked up by a worker)
+        beyond this are shed with :class:`Overloaded` instead of
+        enqueued.  Sizes the worst-case queueing delay — under overload
+        the queue holds at most ``max_queue`` requests, so accepted
+        requests keep a bounded p99 while the excess is rejected fast.
     metrics:
         Optional :class:`ServingMetrics` receiving request counts,
-        per-request latency, batch sizes, and error counts.
+        per-request latency, batch sizes, shed and error counts.
     """
 
     def __init__(
@@ -83,6 +108,7 @@ class MicroBatcher:
         max_batch_size: int = 32,
         max_wait_s: float = 0.002,
         workers: int = 1,
+        max_queue: int = 1024,
         metrics: Optional[ServingMetrics] = None,
     ):
         if max_batch_size < 1:
@@ -91,11 +117,14 @@ class MicroBatcher:
             raise ReproError(f"max_wait_s must be >= 0, got {max_wait_s}")
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ReproError(f"max_queue must be >= 1, got {max_queue}")
         self.batch_fn = batch_fn
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
+        self.max_queue = int(max_queue)
         self.metrics = metrics
-        self._queue: "queue.Queue" = queue.Queue()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.max_queue)
         self._lock = threading.Lock()
         self._closed = False
         self._sequence = 0
@@ -116,14 +145,23 @@ class MicroBatcher:
         releasing, and then enqueuing would let a request racing
         :meth:`close` land *behind* the shutdown sentinels, where no
         worker would ever resolve its future.
+
+        Raises :class:`Overloaded` (without consuming an arrival
+        sequence number) when the queue is at ``max_queue``.
         """
         with self._lock:
             if self._closed:
                 raise BatcherClosed("batcher is closed")
-            key = self._sequence
+            pending = _Pending(key=self._sequence, payload=payload)
+            try:
+                self._queue.put_nowait(pending)
+            except queue.Full:
+                if self.metrics is not None:
+                    self.metrics.inc("shed_total")
+                raise Overloaded(
+                    f"serving queue is full ({self.max_queue} requests queued)"
+                ) from None
             self._sequence += 1
-            pending = _Pending(key=key, payload=payload)
-            self._queue.put(pending)
         if self.metrics is not None:
             self.metrics.inc("requests_total")
         return pending.future
@@ -149,9 +187,12 @@ class MicroBatcher:
                 return
             self._closed = True
             # Under the same lock as submit's enqueue: nothing can land
-            # behind these sentinels.
+            # behind these sentinels.  The queue is bounded and may be
+            # full of shed-worthy requests at shutdown, so sentinel
+            # placement evicts (and fails) queued requests rather than
+            # blocking close() behind a wedged worker.
             for _ in self._threads:
-                self._queue.put(_SHUTDOWN)
+                self._put_sentinel()
         for thread in self._threads:
             thread.join(timeout=timeout)
         while True:
@@ -164,10 +205,39 @@ class MicroBatcher:
             self._fail(item, BatcherClosed("batcher closed before the request ran"))
         # A worker that outlived its join (wedged in a slow batch_fn) may
         # have had its sentinel swallowed by the drain; repost one per
-        # survivor so it can still exit once its batch returns.
+        # survivor so it can still exit once its batch returns.  The
+        # drain just emptied the queue, so these never block for long.
         for thread in self._threads:
             if thread.is_alive():
-                self._queue.put(_SHUTDOWN)
+                self._put_sentinel()
+
+    def _put_sentinel(self) -> None:
+        """Place one shutdown sentinel without ever blocking.
+
+        A full queue at close time holds requests that are doomed anyway
+        (the post-join drain would fail them); evicting one to make room
+        for the sentinel just fails it earlier.  Bounded attempts: if a
+        sentinel evicts another sentinel (tiny queue, several workers)
+        the shortfall is repaired by close()'s post-join repost loop.
+        """
+        for _ in range(self.max_queue + len(self._threads) + 1):
+            try:
+                self._queue.put_nowait(_SHUTDOWN)
+                return
+            except queue.Full:
+                try:
+                    evicted = self._queue.get_nowait()
+                except queue.Empty:
+                    continue
+                if evicted is _SHUTDOWN:
+                    # Keep the sibling's sentinel; count ours as placed —
+                    # a deficit is repaired after the joins.
+                    try:
+                        self._queue.put_nowait(evicted)
+                    except queue.Full:
+                        pass
+                    return
+                self._fail(evicted, BatcherClosed("batcher closed before the request ran"))
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -179,8 +249,14 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _collect(self, first: _Pending) -> List[_Pending]:
-        """Coalesce queued requests behind ``first`` until size or deadline."""
+    def _collect(self, first: _Pending) -> Tuple[List[_Pending], bool]:
+        """Coalesce queued requests behind ``first`` until size or deadline.
+
+        Returns ``(batch, shutdown)``; a sentinel drained mid-batch is
+        consumed by *this* worker (it runs the batch, then exits) rather
+        than reposted — a repost against a full bounded queue would
+        block the worker behind the very backlog it should be draining.
+        """
         batch = [first]
         deadline = time.monotonic() + self.max_wait_s
         while len(batch) < self.max_batch_size:
@@ -190,19 +266,19 @@ class MicroBatcher:
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
-                # Not ours to consume mid-batch: hand it back for the
-                # final get() (or a sibling worker) to see.
-                self._queue.put(_SHUTDOWN)
-                break
+                return batch, True
             batch.append(item)
-        return batch
+        return batch, False
 
     def _worker(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            self._run_batch(self._collect(item))
+            batch, shutdown = self._collect(item)
+            self._run_batch(batch)
+            if shutdown:
+                return
 
     def _run_batch(self, batch: List[_Pending]) -> None:
         if self.metrics is not None:

@@ -15,8 +15,16 @@ no sockets, no queues, just "artifact + graph in, logits out":
   neighborhoods in the style of ``minibatch_sage``, carved out with
   :func:`repro.graph.subgraph.induced_subgraph` — run the model on that
   small graph, and read off the query node's row.  Results are memoized
-  in a bounded LRU keyed by the query's content, so repeated queries
-  (health probes, hot entities) cost a dict lookup.
+  in a :class:`~repro.serving.cache.TieredCache` keyed by the query's
+  content: a cold LRU admission tier under a frequency-promoted hot
+  tier, so repeated queries (health probes, hot entities) cost a dict
+  lookup and cold scan bursts cannot evict the hot set.
+
+In a multi-replica deployment the transductive table is computed once
+and placed in ``multiprocessing.shared_memory``; worker processes call
+:meth:`install_logits_table` to serve from the shared copy instead of
+paying one table (and one forward) per process — see
+:mod:`repro.serving.replica`.
 
 Both paths run under ``no_grad`` and are deterministic: the same query
 against the same artifact returns bitwise-identical logits, which is the
@@ -44,7 +52,6 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -60,6 +67,7 @@ from repro.models.base import softmax_rows
 from repro.obs.metrics import MetricRegistry
 from repro.sampling import layerwise_neighborhood
 from repro.serving.artifacts import ModelArtifact, graph_fingerprint, load_artifact
+from repro.serving.cache import TieredCache
 from repro.serving.refresh import RowRefresher
 
 NodeIds = Sequence[int]
@@ -92,7 +100,12 @@ class PredictionEngine:
         Receptive-field depth of the query subgraph; defaults to the
         model's layer count (2 when it cannot be inferred).
     inductive_cache_size:
-        Entries kept in the inductive LRU (0 disables memoization).
+        Entries kept in the inductive cache's cold LRU tier (0 disables
+        memoization entirely, hot tier included).
+    hot_cache_size:
+        Entries in the frequency-promoted hot tier sitting above the
+        LRU; queries recurring ``promote_after=2`` times move up and
+        are shielded from cold-scan eviction.
     seed:
         Base seed for the deterministic per-query neighbor sampling.
     streaming:
@@ -114,6 +127,7 @@ class PredictionEngine:
         fanout: int = 10,
         num_hops: Optional[int] = None,
         inductive_cache_size: int = 128,
+        hot_cache_size: int = 32,
         seed: int = 0,
         streaming: bool = False,
     ):
@@ -138,8 +152,15 @@ class PredictionEngine:
         self.fanout = int(fanout)
         self.seed = int(seed)
         self._table: Optional[np.ndarray] = None
-        self._inductive_cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
-        self._inductive_cache_size = int(inductive_cache_size)
+        self.metrics = MetricRegistry()
+        # 0 cold entries disables the cache outright (hot tier included):
+        # the stateless-deployment contract of inductive_cache_size=0.
+        self._inductive_cache = TieredCache(
+            hot_size=int(hot_cache_size) if int(inductive_cache_size) > 0 else 0,
+            cold_size=int(inductive_cache_size),
+            metrics=self.metrics,
+            prefix="inductive_cache",
+        )
 
         if artifact.is_ensemble:
             self._model = None
@@ -152,7 +173,6 @@ class PredictionEngine:
         self._num_hops = int(num_hops) if num_hops is not None else self._infer_hops()
 
         self.streaming = bool(streaming)
-        self.metrics = MetricRegistry()
         self._version = 0
         self._lock = threading.RLock()
         self._delta_listeners: List[Callable[[int], None]] = []
@@ -297,6 +317,31 @@ class PredictionEngine:
     # ------------------------------------------------------------------
     # Transductive path
     # ------------------------------------------------------------------
+    def install_logits_table(self, table: np.ndarray) -> None:
+        """Serve transductive queries from a precomputed logits table.
+
+        The replica tier's entry point: worker processes attach the one
+        shared-memory copy of the table (computed once by the parent)
+        instead of each paying a full forward pass and holding a private
+        copy.  The array is installed as-is — zero-copy for a
+        shared-memory view; callers pass read-only views so a bug in one
+        replica cannot corrupt its siblings.
+        """
+        if self.streaming:
+            raise ServingError(
+                "streaming engines maintain their own table; "
+                "install_logits_table is for static replicas"
+            )
+        table = np.asarray(table)
+        if table.ndim != 2 or table.shape[0] != self.graph.num_nodes:
+            raise ServingError(
+                f"logits table must have shape ({self.graph.num_nodes}, k), "
+                f"got {table.shape}"
+            )
+        with self._lock:
+            self._table = table
+            self.cache_logits = True
+
     def logits_table(self) -> np.ndarray:
         """Per-node logits over the whole serving graph (cached)."""
         if self.streaming:
@@ -393,14 +438,10 @@ class PredictionEngine:
             key = self._inductive_key(features, neighbors)
             cached = self._inductive_cache.get(key)
             if cached is not None:
-                self._inductive_cache.move_to_end(key)
                 return cached
 
             logits = self._run_inductive(graph, features, neighbors, key)
-            if self._inductive_cache_size > 0:
-                self._inductive_cache[key] = logits
-                while len(self._inductive_cache) > self._inductive_cache_size:
-                    self._inductive_cache.popitem(last=False)
+            self._inductive_cache.put(key, logits)
             return logits
 
     def _inductive_key(self, features: np.ndarray, neighbors: np.ndarray) -> bytes:

@@ -1,0 +1,509 @@
+"""The replica frontend: admission control + fan-out over worker processes.
+
+:class:`ReplicaFrontend` is the in-parent half of the replica tier
+(:mod:`repro.serving.replica` is the worker half).  It owns:
+
+* the **one** shared-memory logits table — computed by a parent-side
+  engine at construction, placed in a
+  :class:`~repro.serving.replica.SharedLogitsTable`, attached read-only
+  by every replica;
+* a **bounded admission queue** — the single overload valve for the
+  whole tier.  ``submit()`` against a full queue raises
+  :class:`~repro.serving.batching.Overloaded` immediately (HTTP 429),
+  so saturation sheds the excess instead of growing latency without
+  bound;
+* one **dispatcher thread per replica**, each pulling from the shared
+  admission queue, coalescing up to ``max_batch_size`` requests, and
+  doing one blocking IPC round trip to its replica.  Pulling from a
+  shared queue is natural least-loaded balancing: a replica stuck in a
+  slow batch simply stops taking work while its siblings drain the
+  queue;
+* **self-healing** — a replica that dies or stops answering
+  (``reply_timeout_s``) is terminated and re-forked with fresh queues,
+  and the in-flight batch is retried once on the revived replica
+  (predictions are pure, so the retry is safe and bitwise-identical);
+* **rolling reload** — :meth:`reload` computes the new artifact's table
+  into a fresh shared segment, then swaps replicas one at a time under
+  their per-replica locks.  The other replicas keep answering
+  throughout, so an artifact upgrade is zero-downtime by construction.
+
+Determinism: each replica holds an identical engine attached to the
+same physical table, and inductive sampling is seeded from query
+content, so fan-out answers are bitwise-equal to a single-process
+engine's — the property the replica parity tests check.
+
+Streaming engines are out of scope here: a delta-mutated table cannot
+live in a read-only shared segment.  Use a single-process
+:class:`~repro.serving.engine.PredictionEngine` with
+``streaming=True`` for that deployment shape.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.serving.artifacts import ModelArtifact
+from repro.serving.batching import BatcherClosed, Overloaded, _Pending
+from repro.serving.engine import PredictionEngine, ServingError
+from repro.serving.metrics import ServingMetrics
+from repro.serving.replica import ReplicaError, SharedLogitsTable, replica_main
+from repro.testing.faults import fault_point
+
+_STOP = object()
+
+
+class _Replica:
+    """Parent-side handle on one worker process (mutated in place by revive)."""
+
+    def __init__(self, index: int, process, request_queue, response_queue):
+        self.index = index
+        self.process = process
+        self.request_queue = request_queue
+        self.response_queue = response_queue
+        # Serializes the strictly-paired send/recv protocol; reload and
+        # revive take the same lock to swap the replica out safely.
+        self.lock = threading.Lock()
+
+
+class ReplicaFrontend:
+    """Serve one artifact from N worker processes sharing one logits table.
+
+    Parameters
+    ----------
+    artifact / graph:
+        What to serve, exactly as :class:`PredictionEngine` takes them.
+    replicas:
+        Worker processes.  Each holds a full engine but shares the
+        transductive table, so marginal memory per replica is the model
+        weights, not the table.
+    engine_kwargs:
+        Forwarded to every engine construction (parent and replicas);
+        ``streaming=True`` is rejected — see the module docstring.
+    max_queue:
+        Admission bound across the whole tier; excess submits raise
+        :class:`Overloaded`.
+    max_batch_size / max_wait_s:
+        IPC batch coalescing knobs (same meaning as the micro-batcher's).
+    reply_timeout_s:
+        How long a dispatcher waits for its replica's answer before
+        declaring it wedged and re-forking it.
+    spawn_timeout_s:
+        How long to wait for a replica's ready handshake at fork time.
+    """
+
+    def __init__(
+        self,
+        artifact: Union[ModelArtifact, str, Path],
+        graph: Graph,
+        *,
+        replicas: int = 2,
+        engine_kwargs: Optional[dict] = None,
+        max_queue: int = 1024,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        reply_timeout_s: float = 30.0,
+        spawn_timeout_s: float = 30.0,
+        metrics: Optional[ServingMetrics] = None,
+    ):
+        if replicas < 1:
+            raise ReproError(f"replicas must be >= 1, got {replicas}")
+        if max_queue < 1:
+            raise ReproError(f"max_queue must be >= 1, got {max_queue}")
+        self._engine_kwargs = dict(engine_kwargs or {})
+        if self._engine_kwargs.get("streaming"):
+            raise ServingError(
+                "the replica tier serves a static shared table; "
+                "streaming engines must run single-process"
+            )
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.max_queue = int(max_queue)
+        self.reply_timeout_s = float(reply_timeout_s)
+        self.spawn_timeout_s = float(spawn_timeout_s)
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.artifact_version = 0
+
+        # Parent engine: computes the table once, then serves as the
+        # metadata source for /healthz (model kind, node/class counts).
+        self._engine = PredictionEngine(artifact, graph, **self._engine_kwargs)
+        self._shared = SharedLogitsTable.create(self._engine.logits_table())
+        # The parent, too, serves from the shared copy — its private
+        # table is dropped, leaving one physical table for the machine.
+        self._engine.install_logits_table(self._shared.table)
+
+        # fork: replicas inherit the loaded artifact + graph as
+        # copy-on-write memory, no pickling of model state.  Platforms
+        # without fork fall back to the default (spawn) context, which
+        # pickles the constructor args instead.
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            self._ctx = multiprocessing.get_context()
+
+        self._admission: "queue.Queue" = queue.Queue(maxsize=self.max_queue)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._sequence = 0
+
+        self._replicas: List[_Replica] = []
+        try:
+            for index in range(replicas):
+                self._replicas.append(self._spawn(index))
+        except Exception:
+            self._teardown_replicas()
+            self._shared.close()
+            self._shared.unlink()
+            raise
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch,
+                args=(replica,),
+                name=f"replica-dispatch-{replica.index}",
+                daemon=True,
+            )
+            for replica in self._replicas
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Introspection (for /healthz)
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def model_kind(self) -> str:
+        return self._engine.model_kind
+
+    @property
+    def num_nodes(self) -> int:
+        return self._engine.num_nodes
+
+    @property
+    def num_classes(self) -> int:
+        return self._engine.num_classes
+
+    @property
+    def graph(self) -> Graph:
+        return self._engine.graph
+
+    def ping(self) -> List[dict]:
+        """One info dict per live replica (served counts, pids, versions)."""
+        infos = []
+        for replica in self._replicas:
+            with replica.lock:
+                if not replica.process.is_alive():
+                    infos.append({"replica": replica.index, "alive": False})
+                    continue
+                replica.request_queue.put(("ping",))
+                try:
+                    kind, info = replica.response_queue.get(timeout=self.reply_timeout_s)
+                except queue.Empty:
+                    infos.append({"replica": replica.index, "alive": False})
+                    continue
+            info = dict(info) if kind == "pong" else {"replica": replica.index}
+            info["alive"] = True
+            infos.append(info)
+        return infos
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, payload: Tuple) -> "np.ndarray":
+        """Enqueue one payload; returns a future resolving to its logits.
+
+        Payloads are the replica protocol's: ``("nodes", ids)`` or
+        ``("inductive", features, neighbor_ids)``.  Raises
+        :class:`Overloaded` when the admission queue is full and
+        :class:`BatcherClosed` after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise BatcherClosed("replica frontend is closed")
+            pending = _Pending(key=self._sequence, payload=payload)
+            try:
+                self._admission.put_nowait(pending)
+            except queue.Full:
+                self.metrics.inc("shed_total")
+                raise Overloaded(
+                    f"serving queue is full ({self.max_queue} requests queued)"
+                ) from None
+            self._sequence += 1
+        self.metrics.inc("requests_total")
+        return pending.future
+
+    def predict_nodes(self, node_ids: Sequence[int], timeout: Optional[float] = None) -> np.ndarray:
+        return self.submit(("nodes", list(node_ids))).result(timeout=timeout)
+
+    def predict_inductive(
+        self, features, neighbor_ids: Sequence[int], timeout: Optional[float] = None
+    ) -> np.ndarray:
+        features = np.asarray(features)
+        return self.submit(("inductive", features, list(neighbor_ids))).result(timeout=timeout)
+
+    def predict(self, payload: Tuple, timeout: Optional[float] = None):
+        return self.submit(payload).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Rolling reload
+    # ------------------------------------------------------------------
+    def reload(self, artifact_path: Union[str, Path]) -> int:
+        """Swap every replica to a new artifact with zero downtime.
+
+        The new table is computed parent-side into a fresh shared
+        segment first; then each replica rebuilds from ``artifact_path``
+        one at a time, under its own lock, while the others keep
+        serving.  Returns the new :attr:`artifact_version`.  A replica
+        that fails to reload keeps serving the old artifact and the
+        error propagates after the loop (partial swaps are visible in
+        :meth:`ping`'s per-replica ``artifact_version``).
+        """
+        artifact_path = str(artifact_path)
+        fresh_engine = PredictionEngine(artifact_path, self._engine.graph, **self._engine_kwargs)
+        fresh_shared = SharedLogitsTable.create(fresh_engine.logits_table())
+        fresh_engine.install_logits_table(fresh_shared.table)
+
+        failures = []
+        for replica in self._replicas:
+            if not replica.process.is_alive():
+                # A dead replica whose dispatcher has not picked up work
+                # yet (healing is lazy) would fail the swap; re-fork it
+                # now — it comes up on the old artifact and reloads like
+                # its siblings.
+                try:
+                    self._revive(replica)
+                except Exception as error:
+                    failures.append(f"replica {replica.index} is dead ({error})")
+                    continue
+            with replica.lock:
+                replica.request_queue.put(("reload", artifact_path, fresh_shared.descriptor))
+                try:
+                    kind, info = replica.response_queue.get(timeout=self.reply_timeout_s)
+                except queue.Empty:
+                    failures.append(f"replica {replica.index} reload timed out")
+                    continue
+                if kind != "reloaded":
+                    failures.append(f"replica {replica.index}: {info}")
+        if failures:
+            fresh_shared.close()
+            fresh_shared.unlink()
+            raise ReplicaError("rolling reload failed: " + "; ".join(failures))
+
+        old_engine, old_shared = self._engine, self._shared
+        self._engine, self._shared = fresh_engine, fresh_shared
+        self.artifact_version += 1
+        self.metrics.inc("reloads_total")
+        del old_engine
+        old_shared.close()
+        old_shared.unlink()
+        return self.artifact_version
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._dispatchers:
+                self._put_stop()
+        for thread in self._dispatchers:
+            thread.join(timeout=timeout)
+        while True:
+            try:
+                item = self._admission.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            self._fail(item, BatcherClosed("frontend closed before the request ran"))
+        for thread in self._dispatchers:
+            if thread.is_alive():
+                self._put_stop()
+        self._teardown_replicas()
+        self._shared.close()
+        self._shared.unlink()
+
+    def _teardown_replicas(self) -> None:
+        for replica in self._replicas:
+            if replica.process.is_alive():
+                try:
+                    replica.request_queue.put_nowait(("shutdown",))
+                except Exception:
+                    pass
+        for replica in self._replicas:
+            replica.process.join(timeout=2.0)
+            if replica.process.is_alive():
+                replica.process.terminate()
+                replica.process.join(timeout=1.0)
+
+    def _put_stop(self) -> None:
+        """Place one dispatcher stop without blocking (mirrors the
+        micro-batcher's sentinel eviction: a full queue at close holds
+        doomed requests, so evicting one just fails it earlier)."""
+        for _ in range(self.max_queue + len(self._dispatchers) + 1):
+            try:
+                self._admission.put_nowait(_STOP)
+                return
+            except queue.Full:
+                try:
+                    evicted = self._admission.get_nowait()
+                except queue.Empty:
+                    continue
+                if evicted is _STOP:
+                    try:
+                        self._admission.put_nowait(evicted)
+                    except queue.Full:
+                        pass
+                    return
+                self._fail(evicted, BatcherClosed("frontend closed before the request ran"))
+
+    def __enter__(self) -> "ReplicaFrontend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Replica management
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> _Replica:
+        request_queue = self._ctx.Queue()
+        response_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=replica_main,
+            args=(
+                index,
+                self._engine.artifact,
+                self._engine.graph,
+                self._engine_kwargs,
+                self._shared.descriptor,
+                request_queue,
+                response_queue,
+            ),
+            name=f"serving-replica-{index}",
+            daemon=True,
+        )
+        process.start()
+        try:
+            kind, info = response_queue.get(timeout=self.spawn_timeout_s)
+        except queue.Empty:
+            process.terminate()
+            raise ReplicaError(f"replica {index} did not come up") from None
+        if kind != "ready":
+            process.join(timeout=1.0)
+            raise ReplicaError(f"replica {index} failed to start: {info}")
+        return _Replica(index, process, request_queue, response_queue)
+
+    def _revive(self, replica: _Replica) -> None:
+        """Re-fork a dead or wedged replica with fresh queues.
+
+        Fresh queues matter: a *wedged* (not dead) old process may emit
+        its answer eventually, and it must land on an abandoned queue
+        rather than desynchronize the new process's request/reply pairing.
+        """
+        with replica.lock:
+            if replica.process.is_alive():
+                replica.process.terminate()
+            replica.process.join(timeout=2.0)
+            fresh = self._spawn(replica.index)
+            replica.process = fresh.process
+            replica.request_queue = fresh.request_queue
+            replica.response_queue = fresh.response_queue
+        self.metrics.inc("replica_restarts_total")
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+    def _collect(self, first: _Pending) -> Tuple[List[_Pending], bool]:
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                item = self._admission.get(
+                    block=remaining > 0, timeout=max(remaining, 0) or None
+                )
+            except queue.Empty:
+                break
+            if item is _STOP:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _dispatch(self, replica: _Replica) -> None:
+        while True:
+            item = self._admission.get()
+            if item is _STOP:
+                return
+            batch, stop = self._collect(item)
+            self._run_batch(replica, batch)
+            if stop:
+                return
+
+    def _run_batch(self, replica: _Replica, batch: List[_Pending]) -> None:
+        self.metrics.observe_batch_size(len(batch))
+        live: List[_Pending] = []
+        for pending in batch:
+            try:
+                fault_point("serving:request", key=pending.key, payload=pending.payload)
+            except Exception as error:
+                self._fail(pending, error)
+            else:
+                live.append(pending)
+        if not live:
+            return
+        payloads = [pending.payload for pending in live]
+        try:
+            results = self._roundtrip(replica, payloads)
+        except ReplicaError:
+            # Dead or wedged replica: re-fork it and retry the batch
+            # once.  Predictions are pure, so the retry is safe — and
+            # bitwise-identical, per the engine's determinism contract.
+            try:
+                self._revive(replica)
+                results = self._roundtrip(replica, payloads)
+            except Exception as retry_error:
+                for pending in live:
+                    self._fail(pending, retry_error)
+                return
+        now = time.monotonic()
+        for pending, (ok, value) in zip(live, results):
+            if ok:
+                self.metrics.observe_latency(now - pending.submitted)
+                pending.future.set_result(value)
+            else:
+                self._fail(pending, value)
+
+    def _roundtrip(self, replica: _Replica, payloads: List[Tuple]) -> List[Tuple[bool, object]]:
+        with replica.lock:
+            if not replica.process.is_alive():
+                raise ReplicaError(f"replica {replica.index} died")
+            replica.request_queue.put(("predict", payloads))
+            try:
+                kind, results = replica.response_queue.get(timeout=self.reply_timeout_s)
+            except queue.Empty:
+                raise ReplicaError(
+                    f"replica {replica.index} did not answer within "
+                    f"{self.reply_timeout_s}s"
+                ) from None
+        if kind != "results" or len(results) != len(payloads):
+            raise ReplicaError(f"replica {replica.index} answered out of protocol")
+        return results
+
+    def _fail(self, pending: _Pending, error: Exception) -> None:
+        self.metrics.inc("errors_total")
+        pending.future.set_exception(error)

@@ -1,34 +1,50 @@
-"""Stdlib HTTP front end for the prediction engine.
+"""Stdlib HTTP front end for the prediction engine or replica tier.
 
 A :class:`PredictionServer` wires the pieces of the serving subsystem
-together: a :class:`~repro.serving.engine.PredictionEngine` for compute,
-a :class:`~repro.serving.batching.MicroBatcher` so concurrent HTTP
-callers share forward passes, and a
+together: a compute backend — either a single in-process
+:class:`~repro.serving.engine.PredictionEngine` (optionally behind a
+:class:`~repro.serving.batching.MicroBatcher`) or a multi-process
+:class:`~repro.serving.frontend.ReplicaFrontend` — plus a
 :class:`~repro.serving.metrics.ServingMetrics` sink.  The API is JSON
-over ``http.server.ThreadingHTTPServer`` — one request per handler
-thread, batching happening behind the queue — with three routes:
+over ``http.server.ThreadingHTTPServer`` with keep-alive (HTTP/1.1;
+every response carries ``Content-Length``) and these routes:
 
 ``POST /predict``
     ``{"nodes": [0, 5, 9]}`` → transductive logits/labels for known
     nodes, or ``{"features": [...], "neighbors": [3, 4]}`` → an
     inductive prediction for one unseen node.  ``"return_probs": true``
     adds softmax probabilities.
+``POST /admin/reload``
+    ``{"artifact": "/path/to/v2.rddart"}`` → rolling zero-downtime
+    artifact swap (replica serving only).
 ``GET /healthz``
     Liveness + model identity (used by load balancers and CI smoke).
 ``GET /metrics``
-    The metrics snapshot: request/error/batch counters plus latency and
-    batch-size percentile summaries.
+    The metrics snapshot: request/error/batch/shed counters plus
+    latency and batch-size percentile summaries.
 
-Client errors (bad JSON, unknown ids, wrong shapes) return 400 with
-``{"error": ...}``; server-side failures — including injected
-``serving:request`` faults — return 500 the same way, and never take the
-batching loop down with them.
+Failure modes are typed, bounded, and observable:
+
+* client errors (bad JSON, unknown ids, wrong shapes) → 400;
+* **overload** — the bounded admission queue is full — → 429 with a
+  ``Retry-After`` header (and the ``http_429`` counter), so saturation
+  sheds excess load instead of queueing without bound;
+* a request exceeding ``request_timeout_s`` (e.g. a wedged worker) →
+  503 ``{"error": "timed out"}`` and the handler thread is released —
+  no request can hang a thread forever;
+* a client that disconnects mid-write is counted
+  (``http_disconnects_total``) and the thread stays clean, never a
+  traceback;
+* other server-side failures — including injected ``serving:request``
+  faults — → 500, and never take the batching loop down with them.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlparse
@@ -37,53 +53,88 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.models.base import softmax_rows
-from repro.serving.batching import MicroBatcher
+from repro.serving.batching import MicroBatcher, Overloaded
 from repro.serving.engine import PredictionEngine, ServingError
+from repro.serving.frontend import ReplicaFrontend
 from repro.serving.metrics import ServingMetrics, prometheus_text
 
 
 class PredictionServer:
-    """An HTTP prediction service around one engine.
+    """An HTTP prediction service around one engine or replica tier.
 
     Parameters
     ----------
     engine:
-        The loaded :class:`PredictionEngine`.
+        A loaded :class:`PredictionEngine` for single-process serving.
+        Exactly one of ``engine`` and ``frontend`` must be given.
     host / port:
         Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    frontend:
+        A :class:`ReplicaFrontend` for multi-process serving.  The
+        server adopts its metrics registry (one ``/metrics`` view) and
+        closes it on :meth:`close`.
     batching:
         Route transductive requests through a :class:`MicroBatcher`
-        (recommended); when off, every handler thread calls the engine
-        directly.
-    max_batch_size / max_wait_s:
-        Micro-batching knobs, forwarded to the batcher.
+        (engine mode only — the frontend does its own IPC batching);
+        when off, handler threads call the engine on a small compute
+        pool so timeouts still apply.
+    max_batch_size / max_wait_s / max_queue:
+        Micro-batching and admission-control knobs, forwarded to the
+        batcher.
+    request_timeout_s:
+        Deadline for any single prediction; expiry returns 503 and
+        frees the handler thread.
     metrics:
-        Metrics sink; a fresh one is created when omitted.
+        Metrics sink; defaults to the frontend's registry (frontend
+        mode) or a fresh one.
     """
 
     def __init__(
         self,
-        engine: PredictionEngine,
+        engine: Optional[PredictionEngine] = None,
         host: str = "127.0.0.1",
         port: int = 8080,
         *,
+        frontend: Optional[ReplicaFrontend] = None,
         batching: bool = True,
         max_batch_size: int = 32,
         max_wait_s: float = 0.002,
+        max_queue: int = 1024,
+        request_timeout_s: float = 30.0,
         metrics: Optional[ServingMetrics] = None,
     ):
+        if (engine is None) == (frontend is None):
+            raise ReproError("pass exactly one of engine= and frontend=")
+        if request_timeout_s <= 0:
+            raise ReproError(f"request_timeout_s must be > 0, got {request_timeout_s}")
         self.engine = engine
-        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.frontend = frontend
+        self.request_timeout_s = float(request_timeout_s)
+        if metrics is not None:
+            self.metrics = metrics
+        elif frontend is not None:
+            self.metrics = frontend.metrics
+        else:
+            self.metrics = ServingMetrics()
         self.batcher: Optional[MicroBatcher] = None
-        if batching:
-            self.batcher = MicroBatcher(
-                engine.predict_many,
-                max_batch_size=max_batch_size,
-                max_wait_s=max_wait_s,
-                metrics=self.metrics,
+        self._compute: Optional[ThreadPoolExecutor] = None
+        if engine is not None:
+            if batching:
+                self.batcher = MicroBatcher(
+                    engine.predict_many,
+                    max_batch_size=max_batch_size,
+                    max_wait_s=max_wait_s,
+                    max_queue=max_queue,
+                    metrics=self.metrics,
+                )
+            # Direct engine calls (inductive, and transductive with
+            # batching off) run on this pool so the handler can abandon
+            # them at the deadline instead of blocking forever.
+            self._compute = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="serving-compute"
             )
         handler = _make_handler(self)
-        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd = _Server((host, port), handler)
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
@@ -123,6 +174,10 @@ class PredictionServer:
         self.httpd.server_close()
         if self.batcher is not None:
             self.batcher.close()
+        if self._compute is not None:
+            self._compute.shutdown(wait=False, cancel_futures=True)
+        if self.frontend is not None:
+            self.frontend.close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -150,11 +205,16 @@ class PredictionServer:
         nodes = body["nodes"]
         if isinstance(nodes, int):
             nodes = [nodes]
-        if self.batcher is not None:
-            logits = self.batcher.predict(nodes)
+        timeout = self.request_timeout_s
+        if self.frontend is not None:
+            logits = self.frontend.predict_nodes(nodes, timeout=timeout)
+        elif self.batcher is not None:
+            logits = self.batcher.predict(nodes, timeout=timeout)
         else:
             self.metrics.inc("requests_total")
-            logits = self.engine.predict_nodes(nodes)
+            logits = self._compute.submit(self.engine.predict_nodes, nodes).result(
+                timeout=timeout
+            )
         response = {
             "nodes": [int(n) for n in nodes],
             "labels": logits.argmax(axis=1).tolist(),
@@ -166,12 +226,21 @@ class PredictionServer:
         return response
 
     def _predict_inductive(self, body: dict) -> dict:
-        self.metrics.inc("requests_total")
         self.metrics.inc("inductive_requests_total")
         neighbors = body.get("neighbors")
         if neighbors is None:
             raise ServingError('inductive requests need "neighbors" (known node ids)')
-        logits = self.engine.predict_inductive(body["features"], neighbors)
+        timeout = self.request_timeout_s
+        if self.frontend is not None:
+            # The frontend's submit() counts requests_total itself.
+            logits = self.frontend.predict_inductive(
+                body["features"], neighbors, timeout=timeout
+            )
+        else:
+            self.metrics.inc("requests_total")
+            logits = self._compute.submit(
+                self.engine.predict_inductive, body["features"], neighbors
+            ).result(timeout=timeout)
         response = {"label": int(np.argmax(logits))}
         if body.get("return_probs"):
             response["probs"] = softmax_rows(logits[None, :])[0].tolist()
@@ -179,43 +248,92 @@ class PredictionServer:
             response["logits"] = logits.tolist()
         return response
 
+    def handle_reload(self, body: dict) -> dict:
+        """``POST /admin/reload``: zero-downtime artifact swap."""
+        if not isinstance(body, dict):
+            raise ServingError("request body must be a JSON object")
+        if self.frontend is None:
+            raise ServingError("rolling reload requires replica serving (--replicas)")
+        path = body.get("artifact")
+        if not path:
+            raise ServingError('reload needs "artifact" (path to the new .rddart)')
+        version = self.frontend.reload(path)
+        return {"status": "reloaded", "artifact_version": version}
+
     def health(self) -> dict:
-        return {
+        backend = self.frontend if self.frontend is not None else self.engine
+        info = {
             "status": "ok",
-            "model": self.engine.model_kind,
-            "nodes": self.engine.num_nodes,
+            "model": backend.model_kind,
+            "nodes": backend.num_nodes,
             "batching": self.batcher is not None,
         }
+        if self.frontend is not None:
+            info["replicas"] = self.frontend.replicas
+            info["artifact_version"] = self.frontend.artifact_version
+        return info
+
+
+class _Server(ThreadingHTTPServer):
+    # TCPServer's default listen backlog is 5 — at open-loop arrival
+    # rates (hundreds of fresh connections/s) the accept queue overflows
+    # and the kernel refuses connections before admission control ever
+    # sees them.  Overload policy belongs to the bounded request queue
+    # (429), not to the TCP layer.
+    request_queue_size = 128
 
 
 def _make_handler(server: PredictionServer):
     """A handler class bound to one :class:`PredictionServer`."""
 
     class Handler(BaseHTTPRequestHandler):
-        # Keep connections simple: one request per connection.
-        protocol_version = "HTTP/1.0"
+        # Keep-alive: one TCP connection serves many requests.  Safe
+        # because every response sets Content-Length explicitly.
+        protocol_version = "HTTP/1.1"
 
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass  # request logging would swamp test output; metrics cover it
 
+        # -- client-disconnect containment -----------------------------
+        def handle_one_request(self) -> None:
+            # Loadgen clients time out and close mid-response; the write
+            # (or the keep-alive flush) then raises.  That is the
+            # client's failure, not ours: count it, drop the connection,
+            # keep the handler thread clean.
+            try:
+                super().handle_one_request()
+            except (BrokenPipeError, ConnectionResetError):
+                server.metrics.inc("http_disconnects_total")
+                self.close_connection = True
+
         # -- helpers ---------------------------------------------------
-        def _send_json(self, status: int, payload: dict) -> None:
-            blob = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(blob)))
-            self.end_headers()
-            self.wfile.write(blob)
+        def _send_blob(
+            self, status: int, blob: bytes, content_type: str, headers: Optional[dict]
+        ) -> None:
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(blob)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(blob)
+            except (BrokenPipeError, ConnectionResetError):
+                server.metrics.inc("http_disconnects_total")
+                self.close_connection = True
+                return
             server.metrics.inc(f"http_{status}")
 
-        def _send_text(self, status: int, text: str, content_type: str) -> None:
-            blob = text.encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(blob)))
-            self.end_headers()
-            self.wfile.write(blob)
-            server.metrics.inc(f"http_{status}")
+        def _send_json(
+            self, status: int, payload: dict, headers: Optional[dict] = None
+        ) -> None:
+            blob = json.dumps(payload).encode("utf-8")
+            self._send_blob(status, blob, "application/json", headers)
+
+        def _send_text(
+            self, status: int, text: str, content_type: str
+        ) -> None:
+            self._send_blob(status, text.encode("utf-8"), content_type, None)
 
         # -- routes ----------------------------------------------------
         def do_GET(self) -> None:
@@ -239,7 +357,11 @@ def _make_handler(server: PredictionServer):
                 self._send_json(404, {"error": f"unknown path {self.path}"})
 
         def do_POST(self) -> None:
-            if self.path != "/predict":
+            if self.path == "/predict":
+                route = server.handle_predict
+            elif self.path == "/admin/reload":
+                route = server.handle_reload
+            else:
                 self._send_json(404, {"error": f"unknown path {self.path}"})
                 return
             try:
@@ -249,7 +371,21 @@ def _make_handler(server: PredictionServer):
                 self._send_json(400, {"error": f"invalid JSON body: {error}"})
                 return
             try:
-                response = server.handle_predict(body)
+                response = route(body)
+            except Overloaded as error:
+                # Admission control: the queue is full.  Shed fast with
+                # a retry hint — graceful-degradation beats collapse.
+                self._send_json(
+                    429,
+                    {"error": str(error)},
+                    headers={"Retry-After": str(max(1, math.ceil(error.retry_after_s)))},
+                )
+            except TimeoutError:
+                # The deadline passed (wedged worker, overlong queue
+                # wait).  The handler thread is released; the stale
+                # result, if it ever lands, is discarded with its future.
+                server.metrics.inc("http_timeouts_total")
+                self._send_json(503, {"error": "timed out"})
             except (ServingError, KeyError, TypeError) as error:
                 server.metrics.inc("http_client_errors_total")
                 self._send_json(400, {"error": str(error)})

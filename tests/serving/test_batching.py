@@ -15,7 +15,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ReproError
-from repro.serving.batching import BatcherClosed, MicroBatcher
+from repro.serving.batching import BatcherClosed, MicroBatcher, Overloaded
 from repro.serving.engine import ServingError
 from repro.serving.metrics import ServingMetrics
 from repro.testing.faults import FaultPlan, WorkerCrash, inject
@@ -156,6 +156,69 @@ class TestFaultIsolation:
 
 
 # ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_full_queue_sheds_with_overloaded_and_accepted_work_completes(self):
+        # Regression: the queue used to be unbounded — saturation grew
+        # latency without limit instead of rejecting the excess.
+        release = threading.Event()
+        metrics = ServingMetrics()
+
+        def blocking_batch_fn(payloads):
+            release.wait(timeout=30)
+            return [p * 2 for p in payloads]
+
+        batcher = MicroBatcher(
+            blocking_batch_fn, max_batch_size=1, max_wait_s=0.0,
+            max_queue=2, metrics=metrics,
+        )
+        try:
+            first = batcher.submit(0)  # the worker takes this and blocks
+            pause = threading.Event()
+            while batcher._queue.qsize() and not pause.wait(0.01):
+                pass  # wait until the first request is truly in-flight
+            accepted = [batcher.submit(i + 1) for i in range(2)]  # fills the queue
+            shed = 0
+            for i in range(5):
+                with pytest.raises(Overloaded) as excinfo:
+                    batcher.submit(i + 10)
+                shed += 1
+                assert excinfo.value.retry_after_s > 0
+            release.set()
+            # Shedding protected the accepted requests: all complete.
+            assert first.result(timeout=10) == 0
+            assert [f.result(timeout=10) for f in accepted] == [2, 4]
+        finally:
+            release.set()
+            batcher.close()
+        assert metrics.counter("shed_total") == shed
+        assert metrics.counter("requests_total") == 3  # shed never counted
+
+    def test_shed_requests_do_not_consume_sequence_numbers(self):
+        # The fault-point key is the arrival sequence number; shedding
+        # must not advance it or keyed fault plans would drift under load.
+        release = threading.Event()
+        batcher = MicroBatcher(
+            lambda payloads: (release.wait(timeout=30), payloads)[1],
+            max_batch_size=1, max_wait_s=0.0, max_queue=1,
+        )
+        try:
+            batcher.submit("a")  # key 0, taken by the worker
+            pause = threading.Event()
+            while batcher._queue.qsize() and not pause.wait(0.01):
+                pass
+            batcher.submit("b")  # key 1, fills the queue
+            with pytest.raises(Overloaded):
+                batcher.submit("shed")
+            release.set()
+            assert batcher._sequence == 2
+        finally:
+            release.set()
+            batcher.close()
+
+
+# ----------------------------------------------------------------------
 # Shutdown races (regression tests)
 # ----------------------------------------------------------------------
 class TestShutdownRaces:
@@ -254,8 +317,8 @@ class TestLifecycle:
 
     @pytest.mark.parametrize(
         "kwargs",
-        [{"max_batch_size": 0}, {"max_wait_s": -1.0}, {"workers": 0}],
-        ids=["batch-size", "wait", "workers"],
+        [{"max_batch_size": 0}, {"max_wait_s": -1.0}, {"workers": 0}, {"max_queue": 0}],
+        ids=["batch-size", "wait", "workers", "queue"],
     )
     def test_invalid_knobs_rejected(self, kwargs):
         with pytest.raises(ReproError):

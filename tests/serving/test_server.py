@@ -2,10 +2,19 @@
 
 Each test boots a real :class:`PredictionServer` on an ephemeral port and
 talks to it over stdlib ``urllib`` — the same path ``scripts/loadgen.py``
-and the CI smoke use.
+and the CI smoke use.  The overload/timeout/disconnect classes pin the
+bugfix contract: saturation answers 429 + ``Retry-After`` instead of
+queueing without bound, a wedged worker answers 503 instead of hanging
+the handler thread forever, and a client dropping mid-response is
+counted — never a traceback, never a dead server.
 """
 
+import http.client
 import json
+import socket
+import struct
+import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -146,6 +155,188 @@ class TestFaultSurvival:
             assert snapshot["counters"]["errors_total"] == 1
             assert snapshot["counters"]["http_500"] == 1
             assert snapshot["counters"]["http_200"] >= 1
+
+
+def _wedge():
+    """(plan, entered, release): a serving:request fault whose action
+    parks the worker until ``release`` is set — the deterministic stand-in
+    for a slow or wedged backend."""
+    entered, release = threading.Event(), threading.Event()
+
+    def block(context):
+        entered.set()
+        release.wait(timeout=30)
+
+    return FaultPlan().fail("serving:request", at=0, action=block), entered, release
+
+
+class TestOverload:
+    def test_full_queue_answers_429_with_retry_after(self, engine):
+        # Regression: a saturated server used to queue without bound —
+        # every request eventually answered, minutes late.  Now the
+        # bounded admission queue sheds the excess immediately.
+        plan, entered, release = _wedge()
+        with PredictionServer(
+            engine, port=0, max_batch_size=1, max_wait_s=0.0, max_queue=1
+        ).start() as server:
+            statuses = []
+
+            def post(nodes):
+                statuses.append(_call(f"{server.url}/predict", {"nodes": nodes})[0])
+
+            with inject(plan):
+                wedged = threading.Thread(target=post, args=([0],))
+                wedged.start()
+                assert entered.wait(timeout=10), "worker never reached the wedge"
+                queued = threading.Thread(target=post, args=([1],))
+                queued.start()
+                deadline = time.monotonic() + 10
+                while not server.batcher._queue.full() and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                assert server.batcher._queue.full()
+
+                request = urllib.request.Request(
+                    f"{server.url}/predict",
+                    data=json.dumps({"nodes": [2]}).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=10)
+                assert excinfo.value.code == 429
+                assert int(excinfo.value.headers["Retry-After"]) >= 1
+                assert "full" in json.loads(excinfo.value.read())["error"]
+
+                release.set()
+                wedged.join(timeout=30)
+                queued.join(timeout=30)
+            # The in-flight and queued requests were not casualties.
+            assert statuses == [200, 200]
+            counters = _call(f"{server.url}/metrics")[1]["counters"]
+            assert counters["http_429"] >= 1
+            assert counters["shed_total"] >= 1
+
+    def test_wedged_worker_answers_503_not_a_hung_request(self, engine):
+        # Regression: a request whose worker never answered used to hang
+        # its handler thread (and the client) forever.  The deadline now
+        # frees both with a clean 503.
+        plan, entered, release = _wedge()
+        with PredictionServer(
+            engine, port=0, max_batch_size=1, max_wait_s=0.0, request_timeout_s=0.3
+        ).start() as server:
+            try:
+                with inject(plan):
+                    started = time.monotonic()
+                    status, payload = _call(f"{server.url}/predict", {"nodes": [0]})
+                    elapsed = time.monotonic() - started
+                    assert status == 503
+                    assert payload == {"error": "timed out"}
+                    assert elapsed < 10.0, f"503 took {elapsed:.1f}s — the deadline did not fire"
+            finally:
+                release.set()
+            assert entered.is_set()
+            # The handler thread survived; once the wedge clears the
+            # server answers normally again.
+            status, payload = _call(f"{server.url}/predict", {"nodes": [3]})
+            assert status == 200
+            assert payload["labels"] == engine.predict_nodes([3]).argmax(axis=1).tolist()
+            counters = _call(f"{server.url}/metrics")[1]["counters"]
+            assert counters["http_timeouts_total"] >= 1
+
+    def test_timeout_applies_without_batching_too(self, engine):
+        # Batching off routes handler threads to the compute pool; the
+        # deadline must hold there as well.  No fault point sits on the
+        # direct path, so wedge the engine itself.
+        release = threading.Event()
+
+        class SlowEngine:
+            def __getattr__(self, name):
+                return getattr(engine, name)
+
+            def predict_nodes(self, nodes):
+                release.wait(timeout=30)
+                return engine.predict_nodes(nodes)
+
+        with PredictionServer(
+            SlowEngine(), port=0, batching=False, request_timeout_s=0.3
+        ).start() as server:
+            try:
+                status, payload = _call(f"{server.url}/predict", {"nodes": [0]})
+                assert (status, payload) == (503, {"error": "timed out"})
+            finally:
+                release.set()
+            assert _call(f"{server.url}/predict", {"nodes": [1]})[0] == 200
+
+
+class TestClientDisconnect:
+    def test_client_dropping_mid_response_is_counted_not_fatal(self, engine):
+        # Regression: a loadgen client timing out and resetting its
+        # connection used to leave a BrokenPipe/ConnectionReset traceback
+        # in the handler thread.  The wedge holds the response until the
+        # client is certainly gone, so the write deterministically hits a
+        # dead socket.
+        plan, entered, release = _wedge()
+        with PredictionServer(
+            engine, port=0, max_batch_size=1, max_wait_s=0.0
+        ).start() as server:
+            with inject(plan):
+                client = socket.create_connection((server.host, server.port), timeout=10)
+                # SO_LINGER(on, 0): close() sends RST, so the server's
+                # later write fails instead of landing in a kernel buffer.
+                client.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+                body = json.dumps({"nodes": [0]}).encode("utf-8")
+                client.sendall(
+                    b"POST /predict HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode("utf-8")
+                    + body
+                )
+                assert entered.wait(timeout=10), "request never reached the worker"
+                client.close()  # RST while the response is still pending
+                release.set()
+
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                counters = _call(f"{server.url}/metrics")[1]["counters"]
+                if counters.get("http_disconnects_total", 0) >= 1:
+                    break
+                time.sleep(0.02)
+            assert counters.get("http_disconnects_total", 0) >= 1
+            # The server shrugged it off and keeps serving.
+            status, payload = _call(f"{server.url}/predict", {"nodes": [1]})
+            assert status == 200
+            assert payload["labels"] == engine.predict_nodes([1]).argmax(axis=1).tolist()
+
+
+class TestKeepAlive:
+    def test_one_connection_serves_many_requests(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            sockets = []
+            for _ in range(3):
+                connection.request(
+                    "POST", "/predict", body=json.dumps({"nodes": [0, 1]}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") != "close"
+                json.loads(response.read())
+                sockets.append(connection.sock)
+            # HTTP/1.1 keep-alive: the TCP connection was reused, not
+            # re-established per request.
+            assert all(sock is sockets[0] for sock in sockets)
+        finally:
+            connection.close()
+
+
+class TestAdminReload:
+    def test_reload_requires_replica_serving(self, server):
+        status, payload = _call(f"{server.url}/admin/reload", {"artifact": "/tmp/x.rddart"})
+        assert status == 400
+        assert "replica" in payload["error"]
 
 
 class TestEnsembleServer:
